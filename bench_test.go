@@ -1,0 +1,261 @@
+package chronosntp_test
+
+import (
+	"testing"
+	"time"
+
+	"chronosntp/internal/analysis"
+	"chronosntp/internal/attack"
+	"chronosntp/internal/core"
+	"chronosntp/internal/dnswire"
+	"chronosntp/internal/eval"
+	"chronosntp/internal/mitigation"
+	"chronosntp/internal/simnet"
+)
+
+// The benchmarks below regenerate every table/figure of the paper (and
+// the claims its single figure rests on). Each reports the headline
+// number as a benchmark metric so `go test -bench` output doubles as the
+// reproduction record; the full formatted tables come from cmd/attacksim.
+
+// BenchmarkFigure1PoolComposition regenerates Figure 1: pool composition
+// over the 24 hourly queries with defragmentation poisoning at query 12.
+func BenchmarkFigure1PoolComposition(b *testing.B) {
+	var fraction float64
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewScenario(core.Config{Seed: 1, Mechanism: core.Defrag, PoisonQuery: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fraction = res.AttackerFraction
+	}
+	b.ReportMetric(fraction, "attacker-fraction")
+	b.ReportMetric(2.0/3.0, "paper-threshold")
+}
+
+// BenchmarkTableAttackWindow regenerates the §IV attack-window claim: the
+// last poisoning query that still yields a ≥2/3 pool majority.
+func BenchmarkTableAttackWindow(b *testing.B) {
+	crossover := 0
+	for i := 0; i < b.N; i++ {
+		crossover = analysis.MaxPoisonQuery(24, 4, 89, 2.0/3.0)
+	}
+	b.ReportMetric(float64(crossover), "crossover-query")
+	b.ReportMetric(12, "paper-crossover")
+}
+
+// BenchmarkTableMaxAddresses regenerates the §IV forged-response capacity
+// ("up to 89 for a single non-fragmented DNS response").
+func BenchmarkTableMaxAddresses(b *testing.B) {
+	records := 0
+	for i := 0; i < b.N; i++ {
+		var err error
+		records, err = dnswire.MaxARecords(core.PoolName, dnswire.EthernetMaxPayload, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(records), "max-records")
+	b.ReportMetric(89, "paper-max-records")
+}
+
+// BenchmarkTableChronosSecurity regenerates the §III security-bound
+// contrast: years to shift 100 ms at the 1/3 boundary vs hours at the
+// poisoned 2/3 pool.
+func BenchmarkTableChronosSecurity(b *testing.B) {
+	var honestYears, poisonedHours float64
+	for i := 0; i < b.N; i++ {
+		honest, err := analysis.YearsToShift(500, 166, 15, 5, 100*time.Millisecond, 25*time.Millisecond, time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		poisoned, err := analysis.YearsToShift(133, 89, 15, 5, 100*time.Millisecond, 25*time.Millisecond, time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		honestYears = honest.Years
+		poisonedHours = poisoned.ExpectedRounds
+	}
+	b.ReportMetric(honestYears, "honest-years")
+	b.ReportMetric(poisonedHours, "poisoned-hours")
+	b.ReportMetric(20, "paper-honest-years-min")
+}
+
+// BenchmarkTableFragmentationStudy regenerates the §II measurement-study
+// marginals on the calibrated synthetic populations.
+func BenchmarkTableFragmentationStudy(b *testing.B) {
+	var tbl *eval.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tbl, err = eval.FragmentationStudy(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tbl.Rows)), "rows")
+}
+
+// BenchmarkTableTimeShift regenerates the end-to-end shift contrast:
+// honest Chronos vs poisoned Chronos vs poisoned classic NTP.
+func BenchmarkTableTimeShift(b *testing.B) {
+	var poisonedMs float64
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewScenario(core.Config{
+			Seed: 2, Mechanism: core.Defrag, PoisonQuery: 12,
+			SyncDuration: 2 * time.Hour, RunPlainNTP: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		poisonedMs = float64(res.ChronosOffset) / float64(time.Millisecond)
+	}
+	b.ReportMetric(poisonedMs, "poisoned-chronos-shift-ms")
+	b.ReportMetric(100, "paper-shift-goal-ms")
+}
+
+// BenchmarkTableMitigations regenerates the §V table: each defence's pool
+// composition, plus the 24 h-hijack residual attack.
+func BenchmarkTableMitigations(b *testing.B) {
+	var mitigatedMalicious, hijackFraction float64
+	for i := 0; i < b.N; i++ {
+		s, err := core.NewScenario(core.Config{
+			Seed: 3, Mechanism: core.Defrag, PoisonQuery: 12,
+			ResolverPolicy: mitigation.PaperResolverPolicy(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		mitigatedMalicious = float64(res.PoolMalicious)
+
+		h, err := core.NewScenario(core.Config{
+			Seed: 4, Mechanism: core.BGPHijackPersistent, PoisonQuery: 1,
+			MaliciousServers: 120,
+			ResolverPolicy:   mitigation.PaperResolverPolicy(),
+			ClientPolicy:     mitigation.PaperClientPolicy(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hres, err := h.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		hijackFraction = hres.AttackerFraction
+	}
+	b.ReportMetric(mitigatedMalicious, "mitigated-malicious")
+	b.ReportMetric(hijackFraction, "hijack24h-fraction")
+}
+
+// BenchmarkTableAblations regenerates the E8 ablation table (TTL pinning,
+// sample size, injected-address count).
+func BenchmarkTableAblations(b *testing.B) {
+	var rows float64
+	for i := 0; i < b.N; i++ {
+		tbl, err := eval.Ablations(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = float64(len(tbl.Rows))
+	}
+	b.ReportMetric(rows, "rows")
+}
+
+// --- Ablation benches for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationForgedTTL contrasts the TTL-pinning design choice: a
+// forged response with a short TTL does not freeze the pool, so benign
+// servers keep accumulating after the poisoning.
+func BenchmarkAblationForgedTTL(b *testing.B) {
+	run := func(ttl time.Duration) float64 {
+		s, err := core.NewScenario(core.Config{
+			Seed: 5, Mechanism: core.Defrag, PoisonQuery: 6, ForgedTTL: ttl,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.AttackerFraction
+	}
+	var pinned, unpinned float64
+	for i := 0; i < b.N; i++ {
+		pinned = run(attack.DefaultForgedTTL)
+		unpinned = run(150 * time.Second)
+	}
+	b.ReportMetric(pinned, "fraction-ttl-7d")
+	b.ReportMetric(unpinned, "fraction-ttl-150s")
+}
+
+// BenchmarkAblationEDNSCapacity sweeps the EDNS payload size: the forged
+// record count per single response (the paper's lever #1).
+func BenchmarkAblationEDNSCapacity(b *testing.B) {
+	var classic, flagDay, ethernet, jumbo int
+	for i := 0; i < b.N; i++ {
+		classic, _ = dnswire.MaxARecords(core.PoolName, 512, false)
+		flagDay, _ = dnswire.MaxARecords(core.PoolName, 1232, true)
+		ethernet, _ = dnswire.MaxARecords(core.PoolName, 1472, true)
+		jumbo, _ = dnswire.MaxARecords(core.PoolName, 4096, true)
+	}
+	b.ReportMetric(float64(classic), "records-512")
+	b.ReportMetric(float64(flagDay), "records-1232")
+	b.ReportMetric(float64(ethernet), "records-1472")
+	b.ReportMetric(float64(jumbo), "records-4096")
+}
+
+// BenchmarkAblationSampleSize sweeps Chronos' m (with d = m/3): the
+// round-capture probability at the paper's poisoned pool.
+func BenchmarkAblationSampleSize(b *testing.B) {
+	var p9, p15, p27 float64
+	for i := 0; i < b.N; i++ {
+		p9 = analysis.RoundWinProb(133, 89, 9, 3)
+		p15 = analysis.RoundWinProb(133, 89, 15, 5)
+		p27 = analysis.RoundWinProb(133, 89, 27, 9)
+	}
+	b.ReportMetric(p9, "capture-m9")
+	b.ReportMetric(p15, "capture-m15")
+	b.ReportMetric(p27, "capture-m27")
+}
+
+// BenchmarkDNSWireRoundTrip measures the hot wire-format path (encode +
+// decode of the 89-record forged response).
+func BenchmarkDNSWireRoundTrip(b *testing.B) {
+	forge := &attack.ResponseForge{PoolName: core.PoolName, Servers: evilIPs(89)}
+	q := dnswire.NewQuery(1, core.PoolName, dnswire.TypeA)
+	q.SetEDNS(dnswire.EthernetMaxPayload)
+	resp, err := forge.Response(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := resp.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dnswire.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func evilIPs(n int) []simnet.IP {
+	out := make([]simnet.IP, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, simnet.IPv4(66, 0, byte(i/250), byte(i%250+1)))
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Command attacksim runs the reproduction experiments and prints the
+// paper-vs-measured tables.
+//
+// Usage:
+//
+//	attacksim [-seed N] [-experiment all|E1|E2|E3|E4|E5|E6|E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chronosntp/internal/eval"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attacksim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "deterministic simulation seed")
+	experiment := flag.String("experiment", "all", "experiment id (E1..E8) or 'all'")
+	flag.Parse()
+
+	runners := map[string]func() (*eval.Table, error){
+		"E1": func() (*eval.Table, error) { return eval.Figure1(*seed) },
+		"E2": func() (*eval.Table, error) { return eval.AttackWindow(*seed) },
+		"E3": eval.MaxAddresses,
+		"E4": eval.ChronosSecurity,
+		"E5": func() (*eval.Table, error) { return eval.FragmentationStudy(*seed) },
+		"E6": func() (*eval.Table, error) { return eval.TimeShift(*seed) },
+		"E7": func() (*eval.Table, error) { return eval.Mitigations(*seed) },
+		"E8": func() (*eval.Table, error) { return eval.Ablations(*seed) },
+	}
+	if *experiment == "all" {
+		tables, err := eval.All(*seed)
+		if err != nil {
+			return err
+		}
+		for _, t := range tables {
+			fmt.Println(t.Render())
+		}
+		return nil
+	}
+	runner, ok := runners[*experiment]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (want E1..E8 or all)", *experiment)
+	}
+	t, err := runner()
+	if err != nil {
+		return err
+	}
+	fmt.Println(t.Render())
+	return nil
+}

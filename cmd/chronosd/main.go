@@ -1,0 +1,67 @@
+// Command chronosd runs a Chronos client against a simulated internet and
+// prints its pool-generation progress and clock error over time. With
+// -attack, the paper's defragmentation poisoning is mounted at the given
+// pool-generation query.
+//
+// Usage:
+//
+//	chronosd [-seed N] [-attack] [-poison-query 12] [-sync 2h]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chronosntp/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "chronosd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "deterministic simulation seed")
+	doAttack := flag.Bool("attack", false, "mount the defragmentation poisoning attack")
+	poisonQuery := flag.Int("poison-query", 12, "pool-generation query the poisoning targets")
+	sync := flag.Duration("sync", 2*time.Hour, "synchronisation phase duration after pool generation")
+	flag.Parse()
+
+	cfg := core.Config{
+		Seed:         *seed,
+		SyncDuration: *sync,
+		RunPlainNTP:  true,
+	}
+	if *doAttack {
+		cfg.Mechanism = core.Defrag
+		cfg.PoisonQuery = *poisonQuery
+	}
+	s, err := core.NewScenario(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chronosd: pool generation (24 hourly queries), attack=%v\n", *doAttack)
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+	for _, q := range res.PerQuery {
+		marker := ""
+		if *doAttack && q.Query == *poisonQuery {
+			marker = "  <- poisoning lands"
+		}
+		fmt.Printf("  query %2d: %2d benign, %2d malicious (attacker %.1f%%)%s\n",
+			q.Query, q.Benign, q.Malicious, 100*q.Fraction(), marker)
+	}
+	fmt.Printf("pool: %d servers (%d benign, %d malicious, attacker %.1f%%)\n",
+		res.PoolSize, res.PoolBenign, res.PoolMalicious, 100*res.AttackerFraction)
+	fmt.Printf("after %v sync phase:\n", *sync)
+	fmt.Printf("  chronos clock error: %v (peak %v)\n", res.ChronosOffset, res.ChronosMaxOffset)
+	fmt.Printf("  classic-ntp clock error: %v\n", res.PlainOffset)
+	fmt.Printf("  chronos stats: %+v\n", res.ChronosStats)
+	return nil
+}

@@ -1,0 +1,59 @@
+// Command poolsrv traces the pool.ntp.org rotation behaviour that
+// Chronos' pool generation relies on: which 4 addresses the zone serves
+// per rotation window, and how many distinct servers accumulate over the
+// 24-hour generation horizon.
+//
+// Usage:
+//
+//	poolsrv [-seed N] [-inventory 500] [-hours 24]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"chronosntp/internal/dnsserver"
+	"chronosntp/internal/simnet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "poolsrv:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "deterministic simulation seed")
+	inventory := flag.Int("inventory", 500, "NTP servers behind the pool")
+	hours := flag.Int("hours", 24, "hourly queries to trace")
+	flag.Parse()
+
+	n := simnet.New(simnet.Config{Seed: *seed})
+	ips := make([]simnet.IP, *inventory)
+	for i := range ips {
+		ips[i] = simnet.IPv4(203, byte(i/250), byte(i%250), 1)
+	}
+	pool, err := dnsserver.NewPoolZone(dnsserver.PoolConfig{Name: "pool.ntp.org"}, n.Now(), ips)
+	if err != nil {
+		return err
+	}
+	seen := make(map[simnet.IP]bool)
+	for h := 0; h < *hours; h++ {
+		subset := pool.Select(n.Now(), n.Rand())
+		fresh := 0
+		for _, ip := range subset {
+			if !seen[ip] {
+				seen[ip] = true
+				fresh++
+			}
+		}
+		fmt.Printf("hour %2d: %v (+%d new, %d total)\n", h, subset, fresh, len(seen))
+		n.RunFor(time.Hour)
+	}
+	fmt.Printf("accumulated %d distinct servers over %d hourly queries (ideal %d)\n",
+		len(seen), *hours, 4**hours)
+	return nil
+}

@@ -1,0 +1,20 @@
+// Package chronosntp is a from-scratch reproduction of
+//
+//	P. Jeitner, H. Shulman, M. Waidner,
+//	"Pitfalls of Provably Secure Systems in Internet:
+//	 The Case of Chronos-NTP", DSN-S 2020.
+//
+// It contains, under internal/, a deterministic discrete-event IPv4/UDP
+// network simulator and on top of it a DNS stack (wire format,
+// authoritative pool.ntp.org-style server, caching iterative resolver),
+// an NTP stack (wire format, server farms, a classic RFC 5905 client),
+// the Chronos client of NDSS 2018, the paper's attacks (defragmentation
+// cache poisoning, BGP hijack interception, TXID race, SMTP triggering),
+// the §V mitigations plus a multi-resolver consensus defence, the
+// closed-form security analysis, and the experiment harness regenerating
+// the paper's figure and quantitative claims.
+//
+// Entry points: cmd/attacksim runs any experiment; examples/ hold
+// runnable walkthroughs; bench_test.go regenerates every paper artefact
+// as a benchmark.
+package chronosntp

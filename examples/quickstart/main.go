@@ -1,0 +1,39 @@
+// Quickstart: build a simulated internet, run a Chronos client through
+// its 24-hour DNS pool generation against an honest pool.ntp.org, then
+// watch it keep a drifting clock synchronised.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"chronosntp/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scenario, err := core.NewScenario(core.Config{
+		Seed:         42,
+		SyncDuration: time.Hour,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("running 24h of pool generation + 1h of synchronisation (virtual time)...")
+	res, err := scenario.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pool: %d servers, all benign = %v\n", res.PoolSize, res.PoolMalicious == 0)
+	fmt.Printf("chronos clock error after sync: %v (peak %v)\n", res.ChronosOffset, res.ChronosMaxOffset)
+	fmt.Printf("rounds=%d updates=%d panics=%d\n",
+		res.ChronosStats.Rounds, res.ChronosStats.Updates, res.ChronosStats.Panics)
+	return nil
+}

@@ -1,0 +1,55 @@
+// Timeshift: the consequence of the poisoned pool. After the Figure-1
+// attack, the malicious supermajority walks the Chronos clock away with
+// per-round steps below the client's acceptance bound, while a classic
+// 4-server NTP client bootstrapped from the same poisoned resolver is
+// dragged along too. An honest-pool Chronos run is shown for contrast.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"chronosntp/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "timeshift:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const syncPhase = 2 * time.Hour
+
+	honest, err := core.NewScenario(core.Config{Seed: 11, SyncDuration: syncPhase})
+	if err != nil {
+		return err
+	}
+	hres, err := honest.Run()
+	if err != nil {
+		return err
+	}
+
+	poisoned, err := core.NewScenario(core.Config{
+		Seed: 12, Mechanism: core.Defrag, PoisonQuery: 12,
+		SyncDuration: syncPhase, RunPlainNTP: true,
+	})
+	if err != nil {
+		return err
+	}
+	pres, err := poisoned.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("attack phase: %v, adaptive below-threshold shift strategy\n\n", syncPhase)
+	fmt.Printf("%-28s %-32s %s\n", "client", "pool", "clock error vs true time")
+	fmt.Printf("%-28s %-32s %v\n", "chronos", "honest (96 benign)", hres.ChronosOffset)
+	fmt.Printf("%-28s %-32s %v\n", "chronos", "poisoned (44 benign + 89 evil)", pres.ChronosOffset)
+	fmt.Printf("%-28s %-32s %v\n", "classic ntp (4 servers)", "poisoned (same resolver)", pres.PlainOffset)
+	fmt.Printf("\npaper's goal was a 100ms shift; Chronos' proof promised ~20 years of attacker effort.\n")
+	fmt.Printf("with the poisoned pool it took %v of virtual time.\n", syncPhase)
+	return nil
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestComposePoolFigure1(t *testing.T) {
+	// The paper: poisoning at query 12 → 4·11 = 44 benign + 89 malicious,
+	// a 2/3 majority for the attacker.
+	c := ComposePool(12, 24, 4, 89)
+	if c.Benign != 44 {
+		t.Errorf("benign = %d, want 44", c.Benign)
+	}
+	if c.Malicious != 89 {
+		t.Errorf("malicious = %d, want 89", c.Malicious)
+	}
+	if c.Fraction < 2.0/3.0 {
+		t.Errorf("fraction = %v, want >= 2/3", c.Fraction)
+	}
+	// One query later the attacker drops below 2/3.
+	c13 := ComposePool(13, 24, 4, 89)
+	if c13.Fraction >= 2.0/3.0 {
+		t.Errorf("fraction at q=13 = %v, want < 2/3", c13.Fraction)
+	}
+}
+
+func TestComposePoolNoAttack(t *testing.T) {
+	c := ComposePool(0, 24, 4, 89)
+	if c.Benign != 96 || c.Malicious != 0 || c.Fraction != 0 {
+		t.Errorf("no-attack composition: %+v", c)
+	}
+	// Out-of-range query index behaves like no attack.
+	c = ComposePool(25, 24, 4, 89)
+	if c.Malicious != 0 {
+		t.Errorf("late poison composition: %+v", c)
+	}
+}
+
+func TestComposePoolFirstQuery(t *testing.T) {
+	// Poisoning the very first query leaves zero benign servers.
+	c := ComposePool(1, 24, 4, 89)
+	if c.Benign != 0 || c.Fraction != 1 {
+		t.Errorf("q=1 composition: %+v", c)
+	}
+}
+
+func TestMaxPoisonQueryReproducesPaperBound(t *testing.T) {
+	// §IV: "the attacker therefore only needs to successfully attack the
+	// DNS once out of 12 queries during the first 11 hours".
+	if got := MaxPoisonQuery(24, 4, 89, 2.0/3.0); got != 12 {
+		t.Errorf("MaxPoisonQuery = %d, want 12", got)
+	}
+	// With the §V cap of 4 injected addresses, 2/3 is reachable only at
+	// the very first query (0 benign + 4 malicious = 100%).
+	if got := MaxPoisonQuery(24, 4, 4, 2.0/3.0); got != 1 {
+		t.Errorf("MaxPoisonQuery with 4-record cap = %d, want 1", got)
+	}
+}
+
+func TestCaptureThreshold(t *testing.T) {
+	if got := CaptureThreshold(15, 5); got != 10 {
+		t.Errorf("threshold = %d, want 10 (2m/3)", got)
+	}
+}
+
+func TestRoundWinProbMonotone(t *testing.T) {
+	// More malicious servers → higher capture probability.
+	prev := 0.0
+	for mal := 0; mal <= 133; mal += 19 {
+		p := RoundWinProb(133, mal, 15, 5)
+		if p < prev {
+			t.Fatalf("win prob decreased at mal=%d", mal)
+		}
+		prev = p
+	}
+	// Paper pool: 89/133 ≈ 2/3 → capture more likely than not.
+	if p := RoundWinProb(133, 89, 15, 5); p < 0.5 {
+		t.Errorf("poisoned-pool win prob = %v, want >= 0.5", p)
+	}
+	// Below-1/3 attacker: capture is rare.
+	if p := RoundWinProb(96, 31, 15, 5); p > 0.02 {
+		t.Errorf("sub-third win prob = %v, want small", p)
+	}
+}
+
+func TestTimeToShiftChronosClaim(t *testing.T) {
+	// Reproduce the order of magnitude of the Chronos NDSS'18 claim the
+	// paper cites: shifting by 100 ms takes ≥ 20 years for an attacker at
+	// the 1/3 boundary (hourly rounds, 25 ms per-round cap).
+	st, err := YearsToShift(500, 166, 15, 5, 100*time.Millisecond, 25*time.Millisecond, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ConsecutiveWins != 4 {
+		t.Errorf("consecutive wins = %d, want 4", st.ConsecutiveWins)
+	}
+	if st.Years < 20 {
+		t.Errorf("years = %v, want >= 20 (paper: '20 years of effort')", st.Years)
+	}
+	// The collapse: at the poisoned 2/3 pool the same shift takes hours.
+	st2, err := YearsToShift(133, 89, 15, 5, 100*time.Millisecond, 25*time.Millisecond, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Expected > 100*time.Hour {
+		t.Errorf("post-poison expected effort = %v, want << honest case", st2.Expected)
+	}
+	if !(st2.Years < st.Years/1e3) {
+		t.Errorf("collapse factor too small: %v vs %v years", st2.Years, st.Years)
+	}
+}
+
+func TestTimeToShiftEdgeCases(t *testing.T) {
+	if _, err := TimeToShift(0, time.Millisecond, 0.5, time.Hour); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := TimeToShift(time.Second, 0, 0.5, time.Hour); err == nil {
+		t.Error("zero step accepted")
+	}
+	st, err := TimeToShift(100*time.Millisecond, 25*time.Millisecond, 0, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(st.Years, 1) || st.Expected != time.Duration(math.MaxInt64) {
+		t.Errorf("p=0 should be infinite effort: %+v", st)
+	}
+	// p=1: exactly c rounds.
+	st, err = TimeToShift(100*time.Millisecond, 25*time.Millisecond, 1, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExpectedRounds != 4 {
+		t.Errorf("p=1 rounds = %v, want 4", st.ExpectedRounds)
+	}
+}
+
+func TestSimulateMatchesClosedForm(t *testing.T) {
+	// In the post-poisoning regime the closed form and the Monte-Carlo
+	// simulation must agree.
+	rng := rand.New(rand.NewSource(7))
+	const (
+		poolSize = 133
+		mal      = 89
+		m        = 15
+		d        = 5
+		c        = 4
+	)
+	p := RoundWinProb(poolSize, mal, m, d)
+	want, err := TimeToShift(100*time.Millisecond, 25*time.Millisecond, p, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SimulateRoundsToShift(rng, poolSize, mal, m, d, c, 400)
+	if rel := math.Abs(got-want.ExpectedRounds) / want.ExpectedRounds; rel > 0.15 {
+		t.Errorf("simulated %v vs closed form %v rounds (rel err %v)", got, want.ExpectedRounds, rel)
+	}
+}
+
+func TestRecordCapacityTable(t *testing.T) {
+	table, err := RecordCapacityTable("pool.ntp.org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 4 {
+		t.Fatalf("rows = %d", len(table))
+	}
+	byPayload := map[int]int{}
+	for _, row := range table {
+		byPayload[row.Payload] = row.Records
+	}
+	if byPayload[512] != 30 {
+		t.Errorf("512B capacity = %d, want 30", byPayload[512])
+	}
+	if byPayload[1472] != 89 {
+		t.Errorf("1472B capacity = %d, want the paper's 89", byPayload[1472])
+	}
+	if byPayload[4096] <= 89 {
+		t.Errorf("4096B capacity = %d, want > 89", byPayload[4096])
+	}
+	if _, err := RecordCapacityTable("bad..name"); err == nil {
+		t.Error("invalid qname accepted")
+	}
+}
+
+func TestCompareOpportunities(t *testing.T) {
+	// The paper's qualitative claim: Chronos' 12 poisoning windows make
+	// the DNS attack strictly easier than against a classic client.
+	adv := CompareOpportunities(0.1, 12)
+	if adv.Classic != 0.1 {
+		t.Errorf("classic = %v", adv.Classic)
+	}
+	want := 1 - math.Pow(0.9, 12)
+	if !almostEqualF(adv.Chronos, want, 1e-12) {
+		t.Errorf("chronos = %v, want %v", adv.Chronos, want)
+	}
+	if adv.Advantage <= 1 {
+		t.Errorf("advantage = %v, want > 1", adv.Advantage)
+	}
+	// Degenerate probabilities clamp.
+	if got := CompareOpportunities(-1, 12); got.Chronos != 0 || got.Advantage != 0 {
+		t.Errorf("p<0: %+v", got)
+	}
+	if got := CompareOpportunities(2, 12); got.Classic != 1 || got.Chronos != 1 {
+		t.Errorf("p>1: %+v", got)
+	}
+	// With a single opportunity there is no advantage.
+	if got := CompareOpportunities(0.3, 1); !almostEqualF(got.Advantage, 1, 1e-12) {
+		t.Errorf("single-opportunity advantage = %v", got.Advantage)
+	}
+}
+
+func almostEqualF(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDrawMaliciousBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		k := drawMalicious(rng, 100, 30, 15)
+		if k < 0 || k > 15 || k > 30 {
+			t.Fatalf("draw out of bounds: %d", k)
+		}
+	}
+	// Mean sanity: E[k] = m * K/N = 4.5.
+	sum := 0
+	for i := 0; i < 5000; i++ {
+		sum += drawMalicious(rng, 100, 30, 15)
+	}
+	mean := float64(sum) / 5000
+	if mean < 4.2 || mean > 4.8 {
+		t.Errorf("hypergeometric draw mean = %v, want ~4.5", mean)
+	}
+}

@@ -1,0 +1,82 @@
+package attack
+
+import (
+	"strings"
+	"time"
+
+	"chronosntp/internal/dnsresolver"
+	"chronosntp/internal/dnswire"
+	"chronosntp/internal/simnet"
+)
+
+// SMTPPort is where the simulated mail receiver listens.
+//
+// Simplification note: real SMTP runs over TCP; the simulator models the
+// trigger as a single UDP message carrying the recipient domain. What the
+// attack needs — "a third-party service on the victim network performs DNS
+// lookups for attacker-chosen names through the shared resolver" — is
+// preserved exactly.
+const SMTPPort = 25
+
+// SMTPTrigger is a mail server sharing the victim's resolver. Receiving a
+// message for user@<domain> makes it resolve the domain's MX and A records
+// — DNS queries the attacker initiated without touching the resolver
+// directly. The paper's companion study found such third-party triggering
+// (SMTP or open resolvers) possible for 14 % of web-client resolvers.
+type SMTPTrigger struct {
+	host *simnet.Host
+	stub *dnsresolver.Stub
+
+	// Triggered counts lookups initiated by inbound mail.
+	Triggered uint64
+}
+
+// NewSMTPTrigger binds the mail receiver to host, resolving through stub.
+func NewSMTPTrigger(host *simnet.Host, stub *dnsresolver.Stub) (*SMTPTrigger, error) {
+	s := &SMTPTrigger{host: host, stub: stub}
+	if err := host.Listen(SMTPPort, s.handle); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Addr returns the mail receiver's endpoint.
+func (s *SMTPTrigger) Addr() simnet.Addr { return simnet.Addr{IP: s.host.IP(), Port: SMTPPort} }
+
+// handle accepts "RCPT TO:<user@domain>" style payloads and resolves the
+// domain.
+func (s *SMTPTrigger) handle(now time.Time, meta simnet.Meta, payload []byte) {
+	domain := parseRecipientDomain(string(payload))
+	if domain == "" {
+		return
+	}
+	s.Triggered++
+	// MX first, then A — both traverse (and fill) the shared resolver
+	// cache; results are irrelevant to the attacker.
+	s.stub.Lookup(domain, dnswire.TypeMX, func(dnsresolver.Result) {
+		s.stub.Lookup(domain, dnswire.TypeA, func(dnsresolver.Result) {})
+	})
+}
+
+// parseRecipientDomain extracts the domain of the first recipient.
+func parseRecipientDomain(msg string) string {
+	at := strings.IndexByte(msg, '@')
+	if at < 0 || at == len(msg)-1 {
+		return ""
+	}
+	domain := msg[at+1:]
+	for _, cut := range []string{">", "\r", "\n", " "} {
+		if i := strings.Index(domain, cut); i >= 0 {
+			domain = domain[:i]
+		}
+	}
+	return dnswire.NormalizeName(domain)
+}
+
+// SendMail makes the attacker (from) deliver a trigger message for
+// user@domain to the mail server, initiating resolver queries for domain.
+func SendMail(from *simnet.Host, mailServer simnet.Addr, domain string) error {
+	port := from.EphemeralPort()
+	defer from.Close(port)
+	return from.SendUDP(port, mailServer, []byte("RCPT TO:<probe@"+domain+">"))
+}

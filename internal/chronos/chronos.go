@@ -1,0 +1,523 @@
+// Package chronos implements the Chronos NTP client of Deutsch,
+// Rothenberg-Schiff, Dolev and Schapira ("Preventing (Network) Time Travel
+// with Chronos", NDSS 2018) — the provably secure client whose DNS-based
+// pool generation this paper attacks.
+//
+// Chronos differs from a classic NTP client in two ways:
+//
+//  1. Pool generation: instead of resolving the pool name once and keeping
+//     ≤4 servers, Chronos queries pool.ntp.org once an hour for 24 hours
+//     and accumulates every returned address (~24 × 4 = 96 servers).
+//  2. Clock update: each round samples m servers (default 15) uniformly at
+//     random from the pool, discards the d (= m/3) lowest and d highest
+//     offset samples, and accepts the survivors' average only if
+//     (C1) the surviving samples lie within 2ω of each other, and
+//     (C2) the average is within ErrBound of the local clock.
+//     On failure it re-samples; after K consecutive failures it enters
+//     *panic mode*: query every server in the pool, trim the top and
+//     bottom thirds, and trust the middle third's average.
+//
+// The security guarantee — shifting the client by 100 ms takes a MitM
+// attacker ~decades — holds only while fewer than one third of the pool is
+// attacker-controlled. The pool generation mechanism is therefore the
+// root of trust, and it stands on unauthenticated DNS.
+package chronos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"chronosntp/internal/clock"
+	"chronosntp/internal/dnsresolver"
+	"chronosntp/internal/dnswire"
+	"chronosntp/internal/ntpwire"
+	"chronosntp/internal/simnet"
+)
+
+// Errors reported by the client.
+var (
+	ErrPoolEmpty     = errors.New("chronos: pool generation yielded no servers")
+	ErrAlreadyBuilt  = errors.New("chronos: pool already built")
+	ErrNotReady      = errors.New("chronos: pool not built")
+	ErrPolicyTTL     = errors.New("chronos: response TTL exceeds policy cap")
+	ErrPolicyRecords = errors.New("chronos: response record count exceeds policy cap")
+)
+
+// PoolPolicy is the §V mitigation hook applied to every DNS response
+// during pool generation. The zero value is the vulnerable NDSS'18
+// behaviour the paper attacks.
+type PoolPolicy struct {
+	// MaxAddrsPerResponse discards responses carrying more A records
+	// (0 = unlimited). The paper's fix: 4.
+	MaxAddrsPerResponse int
+	// MaxTTL discards responses whose records carry a longer TTL
+	// (0 = unlimited). The paper's fix: anything ≥ the pool-generation
+	// horizon (24 h) is suspicious.
+	MaxTTL time.Duration
+}
+
+// Config parameterises a Chronos client. Defaults follow the NDSS'18
+// evaluation parameters.
+type Config struct {
+	PoolName          string        // pool domain; default "pool.ntp.org"
+	PoolQueries       int           // DNS queries during pool generation; default 24
+	PoolQueryInterval time.Duration // spacing of pool queries; default 1 h
+	PoolTarget        int           // stop early once this many servers gathered (0 = never)
+
+	SampleSize int           // m: servers sampled per round; default 15
+	Trim       int           // d: samples discarded from each end; default m/3
+	Omega      time.Duration // ω: survivor agreement bound (C1 uses 2ω); default 25 ms
+	ErrBound   time.Duration // C2: |avg − local| acceptance bound; default 30 ms
+	Retries    int           // K: re-sample attempts before panic; default 2
+	MinReplies int           // minimum responses per round; default 2m/3
+
+	SyncInterval time.Duration // spacing of sync rounds; default 64 s
+	QueryTimeout time.Duration // per-server NTP query deadline; default 1 s
+
+	Policy PoolPolicy // §V mitigations; zero = vulnerable
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolName == "" {
+		c.PoolName = "pool.ntp.org"
+	}
+	if c.PoolQueries == 0 {
+		c.PoolQueries = 24
+	}
+	if c.PoolQueryInterval == 0 {
+		c.PoolQueryInterval = time.Hour
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 15
+	}
+	if c.Trim == 0 {
+		c.Trim = c.SampleSize / 3
+	}
+	if c.Omega == 0 {
+		c.Omega = 25 * time.Millisecond
+	}
+	if c.ErrBound == 0 {
+		c.ErrBound = 30 * time.Millisecond
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.MinReplies == 0 {
+		c.MinReplies = 2 * c.SampleSize / 3
+	}
+	if c.SyncInterval == 0 {
+		c.SyncInterval = 64 * time.Second
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = time.Second
+	}
+	return c
+}
+
+// Stats counts client activity for the experiments.
+type Stats struct {
+	PoolQueries     uint64 // DNS queries issued during pool generation
+	PoolResponses   uint64 // DNS responses accepted
+	PolicyDiscards  uint64 // responses discarded by the §V policy
+	Rounds          uint64 // sync rounds started
+	Updates         uint64 // clock updates from the normal path
+	Resamples       uint64 // failed attempts that triggered a re-sample
+	Panics          uint64 // panic-mode activations
+	PanicUpdates    uint64 // clock updates applied by panic mode
+	IncompleteRound uint64 // rounds aborted for lack of replies
+}
+
+// PoolEntry records one pool member and how it got there.
+type PoolEntry struct {
+	IP       simnet.IP
+	AddedAt  time.Time
+	QueryIdx int // which pool-generation query produced it (1-based)
+}
+
+// Lookuper is the client's DNS dependency: *dnsresolver.Stub satisfies it,
+// and the mitigation package substitutes a multi-resolver consensus
+// implementation (the paper's recommended direction, [12]).
+type Lookuper interface {
+	Lookup(name string, qtype dnswire.Type, cb dnsresolver.Callback)
+}
+
+// Client is a Chronos NTP client on a simulated host.
+type Client struct {
+	host *simnet.Host
+	clk  *clock.Clock
+	stub Lookuper
+	cfg  Config
+
+	pool      []PoolEntry
+	poolSet   map[simnet.IP]bool
+	poolBuilt bool
+	building  bool
+	queryIdx  int
+	buildDone func(error)
+
+	stopped bool
+	timer   *simnet.Timer
+	stats   Stats
+}
+
+// New builds a Chronos client. stub may be nil when the pool is seeded
+// directly via SeedPool.
+func New(host *simnet.Host, clk *clock.Clock, stub Lookuper, cfg Config) *Client {
+	return &Client{
+		host:    host,
+		clk:     clk,
+		stub:    stub,
+		cfg:     cfg.withDefaults(),
+		poolSet: make(map[simnet.IP]bool),
+	}
+}
+
+// Clock returns the disciplined clock.
+func (c *Client) Clock() *clock.Clock { return c.clk }
+
+// Stats returns an activity snapshot.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Config returns the effective configuration (defaults applied).
+func (c *Client) Config() Config { return c.cfg }
+
+// Pool returns a copy of the current pool.
+func (c *Client) Pool() []PoolEntry {
+	out := make([]PoolEntry, len(c.pool))
+	copy(out, c.pool)
+	return out
+}
+
+// PoolSize returns the number of distinct servers gathered.
+func (c *Client) PoolSize() int { return len(c.pool) }
+
+// PoolBuilt reports whether pool generation has completed.
+func (c *Client) PoolBuilt() bool { return c.poolBuilt }
+
+// Offset reports the client clock's error against true time (experiment
+// instrumentation; invisible to a real client).
+func (c *Client) Offset() time.Duration {
+	return c.clk.Offset(c.host.Net().Now())
+}
+
+// BuildPool runs the Chronos pool-generation mechanism: cfg.PoolQueries
+// DNS queries for cfg.PoolName spaced cfg.PoolQueryInterval apart, each
+// contributing its A records to the pool. done fires when generation
+// completes (possibly with ErrPoolEmpty).
+func (c *Client) BuildPool(done func(error)) {
+	if c.poolBuilt || c.building {
+		if done != nil {
+			done(ErrAlreadyBuilt)
+		}
+		return
+	}
+	c.building = true
+	c.buildDone = done
+	c.queryIdx = 0
+	c.poolQuery()
+}
+
+// poolQuery issues one pool-generation DNS query and schedules the next.
+func (c *Client) poolQuery() {
+	if c.stopped {
+		c.finishBuild()
+		return
+	}
+	c.queryIdx++
+	idx := c.queryIdx
+	c.stats.PoolQueries++
+	c.stub.Lookup(c.cfg.PoolName, dnswire.TypeA, func(res dnsresolver.Result) {
+		c.absorbPoolResponse(idx, res)
+	})
+	if c.queryIdx >= c.cfg.PoolQueries {
+		// Allow the last response to arrive, then finish.
+		c.host.Net().After(c.cfg.QueryTimeout+5*time.Second, c.finishBuild)
+		return
+	}
+	c.timer = c.host.Net().After(c.cfg.PoolQueryInterval, c.poolQuery)
+}
+
+// absorbPoolResponse applies the §V policy and merges a pool response.
+func (c *Client) absorbPoolResponse(idx int, res dnsresolver.Result) {
+	if res.Err != nil {
+		return
+	}
+	now := c.host.Net().Now()
+	var addrs []simnet.IP
+	count := 0
+	for _, rr := range res.RRs {
+		if rr.Type != dnswire.TypeA {
+			continue
+		}
+		count++
+		if c.cfg.Policy.MaxTTL > 0 && time.Duration(rr.TTL)*time.Second > c.cfg.Policy.MaxTTL {
+			c.stats.PolicyDiscards++
+			return // discard the whole response: it is suspicious
+		}
+		addrs = append(addrs, simnet.IP(rr.A))
+	}
+	if c.cfg.Policy.MaxAddrsPerResponse > 0 && count > c.cfg.Policy.MaxAddrsPerResponse {
+		c.stats.PolicyDiscards++
+		return
+	}
+	c.stats.PoolResponses++
+	target := c.cfg.PoolTarget
+	for _, ip := range addrs {
+		if c.poolSet[ip] {
+			continue
+		}
+		if target > 0 && len(c.pool) >= target {
+			break
+		}
+		c.poolSet[ip] = true
+		c.pool = append(c.pool, PoolEntry{IP: ip, AddedAt: now, QueryIdx: idx})
+	}
+}
+
+// finishBuild completes pool generation and starts the sync loop.
+func (c *Client) finishBuild() {
+	if c.poolBuilt {
+		return
+	}
+	c.building = false
+	c.poolBuilt = true
+	done := c.buildDone
+	c.buildDone = nil
+	if len(c.pool) == 0 {
+		if done != nil {
+			done(ErrPoolEmpty)
+		}
+		return
+	}
+	if !c.stopped {
+		c.scheduleRound(c.cfg.SyncInterval)
+	}
+	if done != nil {
+		done(nil)
+	}
+}
+
+// SeedPool installs a pre-built pool directly, bypassing DNS generation,
+// and starts the sync loop. Experiments that study the clock-update
+// algorithm in isolation (e.g. the security-bound reproduction) use it.
+func (c *Client) SeedPool(ips []simnet.IP) error {
+	if c.poolBuilt || c.building {
+		return ErrAlreadyBuilt
+	}
+	if len(ips) == 0 {
+		return ErrPoolEmpty
+	}
+	now := c.host.Net().Now()
+	for _, ip := range ips {
+		if c.poolSet[ip] {
+			continue
+		}
+		c.poolSet[ip] = true
+		c.pool = append(c.pool, PoolEntry{IP: ip, AddedAt: now})
+	}
+	c.poolBuilt = true
+	c.scheduleRound(c.cfg.SyncInterval)
+	return nil
+}
+
+// Stop halts all activity.
+func (c *Client) Stop() {
+	c.stopped = true
+	if c.timer != nil {
+		c.timer.Cancel()
+	}
+}
+
+func (c *Client) scheduleRound(d time.Duration) {
+	if c.stopped {
+		return
+	}
+	c.timer = c.host.Net().After(d, func() { c.startRound(0) })
+}
+
+// startRound begins one Chronos sync round (attempt counts prior failed
+// re-samples within this round).
+func (c *Client) startRound(attempt int) {
+	if c.stopped || len(c.pool) == 0 {
+		return
+	}
+	if attempt == 0 {
+		c.stats.Rounds++
+	}
+	m := c.cfg.SampleSize
+	if m > len(c.pool) {
+		m = len(c.pool)
+	}
+	sample := c.samplePool(m)
+	c.querySample(sample, func(offsets []time.Duration) {
+		c.evaluate(attempt, offsets)
+	})
+}
+
+// samplePool draws m distinct pool members uniformly at random.
+func (c *Client) samplePool(m int) []simnet.IP {
+	rng := c.host.Net().Rand()
+	idx := rng.Perm(len(c.pool))[:m]
+	out := make([]simnet.IP, m)
+	for i, j := range idx {
+		out[i] = c.pool[j].IP
+	}
+	return out
+}
+
+// querySample performs one-shot NTP exchanges with every sampled server
+// and delivers the collected offset samples after the query deadline.
+func (c *Client) querySample(sample []simnet.IP, done func([]time.Duration)) {
+	net := c.host.Net()
+	offsets := make([]time.Duration, 0, len(sample))
+	for _, ip := range sample {
+		c.queryOne(simnet.Addr{IP: ip, Port: ntpwire.Port}, func(off time.Duration, ok bool) {
+			if ok {
+				offsets = append(offsets, off)
+			}
+		})
+	}
+	net.After(c.cfg.QueryTimeout, func() { done(offsets) })
+}
+
+// queryOne sends a single NTP client request with origin validation.
+func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
+	net := c.host.Net()
+	port := c.host.EphemeralPort()
+	if port == 0 {
+		cb(0, false)
+		return
+	}
+	trueT1 := net.Now()
+	t1 := c.clk.Now(trueT1)
+	answered := false
+	err := c.host.Listen(port, func(now time.Time, meta simnet.Meta, payload []byte) {
+		if answered || meta.From != addr {
+			return
+		}
+		resp, err := ntpwire.Decode(payload)
+		if err != nil || resp.Mode != ntpwire.ModeServer || resp.Stratum == 0 {
+			return
+		}
+		if resp.OriginTime != ntpwire.TimestampFromTime(t1) {
+			return
+		}
+		answered = true
+		c.host.Close(port)
+		t4 := c.clk.Now(now)
+		off, _ := ntpwire.OffsetDelay(t1, resp.ReceiveTime.Time(), resp.TransmitTime.Time(), t4)
+		cb(off, true)
+	})
+	if err != nil {
+		cb(0, false)
+		return
+	}
+	req := ntpwire.NewClientPacket(t1)
+	_ = c.host.SendUDP(port, addr, req.Encode())
+	net.After(c.cfg.QueryTimeout, func() {
+		if !answered {
+			c.host.Close(port)
+			cb(0, false)
+		}
+	})
+}
+
+// evaluate applies the Chronos update rule to one round's samples.
+func (c *Client) evaluate(attempt int, offsets []time.Duration) {
+	if c.stopped {
+		return
+	}
+	if len(offsets) < c.cfg.MinReplies || len(offsets) <= 2*c.cfg.Trim {
+		c.stats.IncompleteRound++
+		c.failAttempt(attempt)
+		return
+	}
+	surv := trimmed(offsets, c.cfg.Trim)
+	span := surv[len(surv)-1] - surv[0]
+	avg := mean(surv)
+
+	// C1: survivors agree within 2ω. C2: the implied update is within the
+	// local error bound.
+	if span <= 2*c.cfg.Omega && absDur(avg) <= c.cfg.ErrBound {
+		now := c.host.Net().Now()
+		c.clk.Step(now, avg)
+		c.stats.Updates++
+		c.scheduleRound(c.cfg.SyncInterval)
+		return
+	}
+	c.failAttempt(attempt)
+}
+
+// failAttempt re-samples or escalates to panic mode.
+func (c *Client) failAttempt(attempt int) {
+	if attempt < c.cfg.Retries {
+		c.stats.Resamples++
+		c.startRound(attempt + 1)
+		return
+	}
+	c.panic()
+}
+
+// panic queries every pool server, trims the top and bottom thirds, and
+// trusts the middle third's average — the Chronos recovery mode. With an
+// honest-majority pool this restores correct time; with an
+// attacker-supermajority pool (the paper's end state) it hands the clock
+// to the attacker with no further checks.
+func (c *Client) panic() {
+	c.stats.Panics++
+	all := make([]simnet.IP, len(c.pool))
+	for i, e := range c.pool {
+		all[i] = e.IP
+	}
+	c.querySample(all, func(offsets []time.Duration) {
+		if c.stopped {
+			return
+		}
+		if len(offsets) < 3 {
+			c.stats.IncompleteRound++
+			c.scheduleRound(c.cfg.SyncInterval)
+			return
+		}
+		surv := trimmed(offsets, len(offsets)/3)
+		avg := mean(surv)
+		now := c.host.Net().Now()
+		c.clk.Step(now, avg)
+		c.stats.PanicUpdates++
+		c.scheduleRound(c.cfg.SyncInterval)
+	})
+}
+
+// trimmed sorts a copy of xs and removes trim elements from each end.
+func trimmed(xs []time.Duration, trim int) []time.Duration {
+	s := append([]time.Duration(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if trim < 0 || len(s) <= 2*trim {
+		return s
+	}
+	return s[trim : len(s)-trim]
+}
+
+func mean(xs []time.Duration) time.Duration {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / time.Duration(len(xs))
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// String implements fmt.Stringer.
+func (c *Client) String() string {
+	return fmt.Sprintf("chronos{pool=%d updates=%d panics=%d}", len(c.pool), c.stats.Updates, c.stats.Panics)
+}

@@ -1,0 +1,494 @@
+// Package core assembles the paper's contribution end to end: a simulated
+// internet with a pool.ntp.org hierarchy, a shared caching resolver, a
+// Chronos client running its 24-hour pool generation, a classic NTP client
+// as baseline, and an off-path attacker poisoning the resolver at a chosen
+// pool-generation query via defragmentation injection or a BGP prefix
+// hijack.
+//
+// A Scenario run produces exactly the measurements the paper's Figure 1
+// and §IV claims are made of: the pool's benign/malicious composition per
+// query, the attacker's final pool fraction, and the time shift achieved
+// against the Chronos and classic clients afterwards.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"chronosntp/internal/attack"
+	"chronosntp/internal/chronos"
+	"chronosntp/internal/clock"
+	"chronosntp/internal/dnsresolver"
+	"chronosntp/internal/dnsserver"
+	"chronosntp/internal/dnswire"
+	"chronosntp/internal/mitigation"
+	"chronosntp/internal/ntpclient"
+	"chronosntp/internal/ntpserver"
+	"chronosntp/internal/simnet"
+)
+
+// Mechanism selects the cache-poisoning vector.
+type Mechanism int
+
+const (
+	// NoAttack runs the honest baseline.
+	NoAttack Mechanism = iota + 1
+	// Defrag uses IPv4 defragmentation injection against the resolver
+	// (off-path; forces fragmentation, predicts IPIDs, plants
+	// checksum-compensated tails rewriting referral glue).
+	Defrag
+	// BGPHijack intercepts the nameserver prefix on-path for a poisoning
+	// window around the target query.
+	BGPHijack
+	// BGPHijackPersistent keeps the hijack for the whole pool-generation
+	// horizon and answers every query with policy-compliant 4-record
+	// responses — the residual attack that defeats the §V mitigations.
+	BGPHijackPersistent
+)
+
+// String implements fmt.Stringer.
+func (m Mechanism) String() string {
+	switch m {
+	case NoAttack:
+		return "none"
+	case Defrag:
+		return "defrag-injection"
+	case BGPHijack:
+		return "bgp-hijack"
+	case BGPHijackPersistent:
+		return "bgp-hijack-24h"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Fixed topology addresses.
+var (
+	rootIP       = simnet.IPv4(198, 41, 0, 4)
+	ntpOrgIP     = simnet.IPv4(198, 51, 100, 10)
+	resolverBase = simnet.IPv4(10, 0, 0, 53)
+	chronosIP    = simnet.IPv4(10, 0, 0, 1)
+	plainIP      = simnet.IPv4(10, 0, 0, 2)
+	attackerIP   = simnet.IPv4(66, 66, 0, 1)
+	attackerNSIP = simnet.IPv4(66, 66, 0, 53)
+	honestBase   = simnet.IPv4(203, 0, 0, 1)
+	evilBase     = simnet.IPv4(66, 0, 0, 1)
+)
+
+// PoolName is the pool domain used throughout.
+const PoolName = "pool.ntp.org"
+
+// nsTTL is the delegation TTL: slightly under the hourly pool query
+// spacing, so every hourly query re-walks the hierarchy — giving the
+// attacker its "up to 24 tries".
+const nsTTL = 3590
+
+// Config parameterises a Scenario.
+type Config struct {
+	Seed int64
+
+	BenignServers    int // pool.ntp.org inventory; default 500
+	MaliciousServers int // attacker NTP servers; default 89
+
+	Mechanism    Mechanism // default NoAttack
+	PoisonQuery  int       // pool-generation query to poison (1-based); default 12
+	ForgedTTL    time.Duration
+	RampPerRound time.Duration // malicious shift growth per sync round; default 20ms
+
+	PoolQueries       int           // default 24
+	PoolQueryInterval time.Duration // default 1h
+	SyncInterval      time.Duration // default 64s
+	SyncDuration      time.Duration // post-build attack phase; default 0 (skip)
+
+	ResolverPolicy dnsresolver.AcceptancePolicy // §V at the resolver
+	ClientPolicy   chronos.PoolPolicy           // §V at the client
+	Consensus      int                          // >1: pool generation via this many resolvers with majority voting
+	RunPlainNTP    bool                         // also run the classic client baseline
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BenignServers == 0 {
+		c.BenignServers = 500
+	}
+	if c.MaliciousServers == 0 {
+		c.MaliciousServers = 89
+	}
+	if c.Mechanism == 0 {
+		c.Mechanism = NoAttack
+	}
+	if c.PoisonQuery == 0 {
+		c.PoisonQuery = 12
+	}
+	if c.ForgedTTL == 0 {
+		c.ForgedTTL = attack.DefaultForgedTTL
+	}
+	if c.RampPerRound == 0 {
+		c.RampPerRound = 20 * time.Millisecond
+	}
+	if c.PoolQueries == 0 {
+		c.PoolQueries = 24
+	}
+	if c.PoolQueryInterval == 0 {
+		c.PoolQueryInterval = time.Hour
+	}
+	if c.SyncInterval == 0 {
+		c.SyncInterval = 64 * time.Second
+	}
+	return c
+}
+
+// QuerySnapshot is the pool composition after one pool-generation query —
+// one point of the Figure-1 series.
+type QuerySnapshot struct {
+	Query     int
+	Benign    int
+	Malicious int
+}
+
+// Fraction returns the attacker's share at this point.
+func (q QuerySnapshot) Fraction() float64 {
+	total := q.Benign + q.Malicious
+	if total == 0 {
+		return 0
+	}
+	return float64(q.Malicious) / float64(total)
+}
+
+// Result is a Scenario's measurement output.
+type Result struct {
+	Mechanism   Mechanism
+	PoisonQuery int
+
+	PoolSize         int
+	PoolBenign       int
+	PoolMalicious    int
+	AttackerFraction float64
+	PerQuery         []QuerySnapshot // the Figure-1 series
+
+	PoisonPlanted bool // attack chain completed (mechanism-dependent)
+
+	ChronosOffset    time.Duration // |client − true| at the end
+	ChronosMaxOffset time.Duration // peak error during the sync phase
+	PlainOffset      time.Duration // classic client error (if RunPlainNTP)
+
+	ChronosStats  chronos.Stats
+	ResolverStats dnsresolver.Stats
+}
+
+// Scenario is a fully wired experiment.
+type Scenario struct {
+	cfg Config
+	net *simnet.Network
+
+	honestIPs []simnet.IP
+	evilIPs   []simnet.IP
+	evilSet   map[simnet.IP]bool
+
+	resolvers []*dnsresolver.Resolver
+	chronosC  *chronos.Client
+	plainC    *ntpclient.Client
+
+	poisoner *attack.FragPoisoner
+	hijacker *attack.BGPHijacker
+
+	rampStart     time.Time
+	poisonPlanted bool
+	plantErr      error
+}
+
+// ErrScenario wraps construction failures.
+var ErrScenario = errors.New("core: scenario setup")
+
+// NewScenario wires the topology. Run executes it.
+func NewScenario(cfg Config) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	s := &Scenario{cfg: cfg, evilSet: make(map[simnet.IP]bool)}
+	s.net = simnet.New(simnet.Config{Seed: cfg.Seed})
+
+	// NTP server population. Pool servers are themselves synchronised,
+	// so their absolute error stays small (ms offsets, negligible drift)
+	// even across the 24-hour pool-generation horizon.
+	var err error
+	_, s.honestIPs, err = ntpserver.Farm(s.net, honestBase, cfg.BenignServers, 2*time.Millisecond, 0.2)
+	if err != nil {
+		return nil, fmt.Errorf("%w: honest farm: %v", ErrScenario, err)
+	}
+	ramp := ntpserver.ShiftFunc(func(now time.Time) time.Duration {
+		if s.rampStart.IsZero() || now.Before(s.rampStart) {
+			return 0
+		}
+		rounds := int64(now.Sub(s.rampStart)/cfg.SyncInterval) + 1
+		return time.Duration(rounds) * cfg.RampPerRound
+	})
+	_, s.evilIPs, err = ntpserver.MaliciousFarm(s.net, evilBase, cfg.MaliciousServers, ramp)
+	if err != nil {
+		return nil, fmt.Errorf("%w: malicious farm: %v", ErrScenario, err)
+	}
+	for _, ip := range s.evilIPs {
+		s.evilSet[ip] = true
+	}
+
+	// DNS hierarchy: root delegates ntp.org; the ntp.org server hosts the
+	// rotating pool zone.
+	rootHost, err := s.net.AddHost(rootIP)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	rootSrv, err := dnsserver.New(rootHost)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	rootZone := dnsserver.NewDelegatingZone("")
+	rootZone.Delegate(dnsserver.Delegation{
+		Child: "ntp.org", NSTTL: nsTTL,
+		Glue: []dnsserver.NSGlue{{Name: "ns1.ntp.org", IP: ntpOrgIP, TTL: nsTTL}},
+	})
+	if err := rootSrv.AddZone("", rootZone); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+
+	ntpHost, err := s.net.AddHost(ntpOrgIP)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	ntpSrv, err := dnsserver.New(ntpHost)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	pool, err := dnsserver.NewPoolZone(dnsserver.PoolConfig{Name: PoolName}, s.net.Now(), s.honestIPs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	if err := ntpSrv.AddZone(PoolName, pool); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+
+	// Resolvers: one by default, several for the consensus defence.
+	resolverCount := 1
+	if cfg.Consensus > 1 {
+		resolverCount = cfg.Consensus
+	}
+	for i := 0; i < resolverCount; i++ {
+		ip := resolverBase
+		ip[3] += byte(i)
+		rh, err := s.net.AddHost(ip)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+		}
+		res, err := dnsresolver.New(rh, dnsresolver.Config{
+			EDNSSize: 4096,
+			Accept:   cfg.ResolverPolicy,
+		}, []dnsresolver.Hint{{Zone: "", Addr: simnet.Addr{IP: rootIP, Port: 53}}})
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+		}
+		s.resolvers = append(s.resolvers, res)
+	}
+
+	// Chronos client: stub against the first resolver, or a consensus
+	// stub across all of them.
+	chHost, err := s.net.AddHost(chronosIP)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	var lookuper chronos.Lookuper
+	if cfg.Consensus > 1 {
+		stubs := make([]*dnsresolver.Stub, len(s.resolvers))
+		for i, r := range s.resolvers {
+			stubs[i] = dnsresolver.NewStub(chHost, r.Addr(), 0)
+		}
+		lookuper = mitigation.NewConsensusStub(stubs, 0)
+	} else {
+		lookuper = dnsresolver.NewStub(chHost, s.resolvers[0].Addr(), 0)
+	}
+	s.chronosC = chronos.New(chHost, &clock.Clock{}, lookuper, chronos.Config{
+		PoolName:          PoolName,
+		PoolQueries:       cfg.PoolQueries,
+		PoolQueryInterval: cfg.PoolQueryInterval,
+		SyncInterval:      cfg.SyncInterval,
+		Policy:            cfg.ClientPolicy,
+	})
+
+	// Classic NTP client baseline.
+	if cfg.RunPlainNTP {
+		plHost, err := s.net.AddHost(plainIP)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+		}
+		stub := dnsresolver.NewStub(plHost, s.resolvers[0].Addr(), 0)
+		s.plainC = ntpclient.New(plHost, &clock.Clock{}, stub, ntpclient.Config{
+			PoolName:     PoolName,
+			PollInterval: cfg.SyncInterval,
+		})
+	}
+
+	// Attacker infrastructure.
+	if cfg.Mechanism != NoAttack {
+		attHost, err := s.net.AddHost(attackerIP)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+		}
+		forge := &attack.ResponseForge{PoolName: PoolName, Servers: s.evilIPs, TTL: cfg.ForgedTTL}
+		switch cfg.Mechanism {
+		case Defrag:
+			attNSHost, err := s.net.AddHost(attackerNSIP)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+			}
+			if _, err := attack.NewMaliciousNameserver(attNSHost, "ntp.org", forge); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+			}
+			s.poisoner = attack.NewFragPoisoner(attHost, attack.FragPoisonerConfig{
+				VictimResolver: s.resolvers[0].Addr().IP,
+				TargetServer:   simnet.Addr{IP: rootIP, Port: 53},
+				GlueName:       "ns1.ntp.org",
+				AttackerNS:     attackerNSIP,
+				ForcedMTU:      68,
+				ResolverEDNS:   4096,
+			})
+		case BGPHijack, BGPHijackPersistent:
+			s.hijacker = attack.NewBGPHijacker(s.net, forge, simnet.IPv4(198, 51, 100, 0), 24)
+			if cfg.Mechanism == BGPHijackPersistent {
+				s.hijacker.PerResponse = 4
+				forge.TTL = 150 * time.Second // policy-compliant stealth mode
+			}
+		}
+	}
+	return s, nil
+}
+
+// Net exposes the underlying network (for extended instrumentation).
+func (s *Scenario) Net() *simnet.Network { return s.net }
+
+// Chronos exposes the Chronos client under test.
+func (s *Scenario) Chronos() *chronos.Client { return s.chronosC }
+
+// Run executes pool generation (with the configured attack), then the
+// synchronisation/attack phase, and returns the measurements.
+func (s *Scenario) Run() (*Result, error) {
+	cfg := s.cfg
+	buildStart := s.net.Now().Add(time.Minute)
+
+	// Schedule the poisoning attempt relative to the target query. Pool
+	// query q fires at buildStart + (q−1)·interval; the attack lands just
+	// before it (inside the resolver's 30 s reassembly window for the
+	// defrag mechanism).
+	if cfg.Mechanism != NoAttack {
+		attackAt := buildStart.Add(time.Duration(cfg.PoisonQuery-1)*cfg.PoolQueryInterval - 20*time.Second)
+		lead := attackAt.Sub(s.net.Now())
+		if lead < 0 {
+			lead = 0
+		}
+		switch cfg.Mechanism {
+		case Defrag:
+			s.net.After(lead, func() {
+				s.poisoner.Execute(PoolName, dnswire.TypeA, func(err error) {
+					s.plantErr = err
+					s.poisonPlanted = err == nil
+				})
+			})
+		case BGPHijack:
+			// Announce around the window of the target query, withdraw
+			// after it.
+			s.net.After(lead, func() {
+				s.hijacker.Announce()
+				s.poisonPlanted = true
+			})
+			s.net.After(lead+40*time.Second+cfg.PoolQueryInterval/2, func() { s.hijacker.Withdraw() })
+		case BGPHijackPersistent:
+			s.net.After(lead, func() {
+				s.hijacker.Announce()
+				s.poisonPlanted = true
+			})
+		}
+	}
+
+	// Pool generation.
+	var buildErr error
+	built := false
+	s.net.After(time.Minute, func() {
+		s.chronosC.BuildPool(func(err error) { buildErr, built = err, true })
+	})
+	buildSpan := time.Duration(cfg.PoolQueries)*cfg.PoolQueryInterval + 2*time.Minute
+	s.net.Run(buildStart.Add(buildSpan))
+	if !built {
+		return nil, fmt.Errorf("%w: pool generation did not complete", ErrScenario)
+	}
+	if buildErr != nil && !errors.Is(buildErr, chronos.ErrPoolEmpty) {
+		return nil, fmt.Errorf("%w: build: %v", ErrScenario, buildErr)
+	}
+
+	res := &Result{
+		Mechanism:   cfg.Mechanism,
+		PoisonQuery: cfg.PoisonQuery,
+	}
+	if cfg.Mechanism == NoAttack {
+		res.PoisonQuery = 0
+	}
+	res.PoisonPlanted = s.poisonPlanted
+
+	// Pool composition and the per-query Figure-1 series.
+	entries := s.chronosC.Pool()
+	res.PoolSize = len(entries)
+	perQuery := make([]QuerySnapshot, cfg.PoolQueries)
+	for i := range perQuery {
+		perQuery[i].Query = i + 1
+	}
+	for _, e := range entries {
+		evil := s.evilSet[e.IP]
+		if evil {
+			res.PoolMalicious++
+		} else {
+			res.PoolBenign++
+		}
+		for q := e.QueryIdx; q <= cfg.PoolQueries; q++ {
+			if evil {
+				perQuery[q-1].Malicious++
+			} else {
+				perQuery[q-1].Benign++
+			}
+		}
+	}
+	if res.PoolSize > 0 {
+		res.AttackerFraction = float64(res.PoolMalicious) / float64(res.PoolSize)
+	}
+	res.PerQuery = perQuery
+
+	// Synchronisation phase: malicious servers begin their ramp; the
+	// classic client bootstraps now (its single DNS resolution served
+	// from whatever the shared cache holds).
+	if cfg.SyncDuration > 0 && res.PoolSize > 0 {
+		s.rampStart = s.net.Now()
+		if s.plainC != nil {
+			s.plainC.Start(nil)
+		}
+		// Track the peak Chronos error.
+		step := cfg.SyncInterval
+		var maxOff time.Duration
+		for elapsed := time.Duration(0); elapsed < cfg.SyncDuration; elapsed += step {
+			s.net.RunFor(step)
+			if off := absDur(s.chronosC.Offset()); off > maxOff {
+				maxOff = off
+			}
+		}
+		res.ChronosMaxOffset = maxOff
+	}
+	res.ChronosOffset = absDur(s.chronosC.Offset())
+	if s.plainC != nil {
+		res.PlainOffset = absDur(s.plainC.Offset())
+	}
+	res.ChronosStats = s.chronosC.Stats()
+	res.ResolverStats = s.resolvers[0].Stats()
+	return res, nil
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

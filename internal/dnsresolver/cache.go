@@ -1,0 +1,155 @@
+package dnsresolver
+
+import (
+	"sort"
+	"time"
+
+	"chronosntp/internal/dnswire"
+)
+
+// cacheKey identifies an RRset.
+type cacheKey struct {
+	name  string
+	qtype dnswire.Type
+}
+
+type cacheEntry struct {
+	rrs      []dnswire.RR // TTLs as received
+	storedAt time.Time
+	expiry   time.Time
+}
+
+// Cache is a TTL-respecting DNS cache. It is the attack target: one
+// poisoned RRset with a long TTL persists across all of Chronos' hourly
+// pool queries.
+type Cache struct {
+	entries  map[cacheKey]*cacheEntry
+	negative map[cacheKey]time.Time // NXDOMAIN/NODATA until expiry
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries:  make(map[cacheKey]*cacheEntry),
+		negative: make(map[cacheKey]time.Time),
+	}
+}
+
+// Put stores rrs as the RRset for (name, qtype). TTLs are taken from the
+// records; the entry expires when the smallest TTL does.
+func (c *Cache) Put(now time.Time, name string, qtype dnswire.Type, rrs []dnswire.RR) {
+	if len(rrs) == 0 {
+		return
+	}
+	minTTL := rrs[0].TTL
+	for _, rr := range rrs[1:] {
+		if rr.TTL < minTTL {
+			minTTL = rr.TTL
+		}
+	}
+	cp := make([]dnswire.RR, len(rrs))
+	copy(cp, rrs)
+	k := cacheKey{name: dnswire.NormalizeName(name), qtype: qtype}
+	c.entries[k] = &cacheEntry{
+		rrs:      cp,
+		storedAt: now,
+		expiry:   now.Add(time.Duration(minTTL) * time.Second),
+	}
+	delete(c.negative, k)
+}
+
+// PutNegative records that (name, qtype) does not exist, for ttl.
+func (c *Cache) PutNegative(now time.Time, name string, qtype dnswire.Type, ttl time.Duration) {
+	k := cacheKey{name: dnswire.NormalizeName(name), qtype: qtype}
+	c.negative[k] = now.Add(ttl)
+}
+
+// Get returns the unexpired RRset for (name, qtype) with TTLs decremented
+// by the time spent in cache.
+func (c *Cache) Get(now time.Time, name string, qtype dnswire.Type) ([]dnswire.RR, bool) {
+	k := cacheKey{name: dnswire.NormalizeName(name), qtype: qtype}
+	e, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	if !now.Before(e.expiry) {
+		delete(c.entries, k)
+		return nil, false
+	}
+	aged := uint32(now.Sub(e.storedAt) / time.Second)
+	out := make([]dnswire.RR, len(e.rrs))
+	for i, rr := range e.rrs {
+		if rr.TTL > aged {
+			rr.TTL -= aged
+		} else {
+			rr.TTL = 0
+		}
+		out[i] = rr
+	}
+	return out, true
+}
+
+// GetNegative reports whether (name, qtype) is negatively cached.
+func (c *Cache) GetNegative(now time.Time, name string, qtype dnswire.Type) bool {
+	k := cacheKey{name: dnswire.NormalizeName(name), qtype: qtype}
+	exp, ok := c.negative[k]
+	if !ok {
+		return false
+	}
+	if !now.Before(exp) {
+		delete(c.negative, k)
+		return false
+	}
+	return true
+}
+
+// Flush removes the entry for (name, qtype), reporting whether it existed.
+func (c *Cache) Flush(name string, qtype dnswire.Type) bool {
+	k := cacheKey{name: dnswire.NormalizeName(name), qtype: qtype}
+	_, ok := c.entries[k]
+	delete(c.entries, k)
+	delete(c.negative, k)
+	return ok
+}
+
+// Len returns the number of positive entries (expired ones included until
+// touched or purged).
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Purge drops all expired entries.
+func (c *Cache) Purge(now time.Time) {
+	for k, e := range c.entries {
+		if !now.Before(e.expiry) {
+			delete(c.entries, k)
+		}
+	}
+	for k, exp := range c.negative {
+		if !now.Before(exp) {
+			delete(c.negative, k)
+		}
+	}
+}
+
+// Dump returns a deterministic snapshot of all unexpired entries, for
+// experiment reporting.
+func (c *Cache) Dump(now time.Time) []dnswire.RR {
+	keys := make([]cacheKey, 0, len(c.entries))
+	for k, e := range c.entries {
+		if now.Before(e.expiry) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].qtype < keys[j].qtype
+	})
+	var out []dnswire.RR
+	for _, k := range keys {
+		if rrs, ok := c.Get(now, k.name, k.qtype); ok {
+			out = append(out, rrs...)
+		}
+	}
+	return out
+}

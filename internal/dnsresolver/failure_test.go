@@ -1,0 +1,122 @@
+package dnsresolver
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"chronosntp/internal/dnsserver"
+	"chronosntp/internal/dnswire"
+	"chronosntp/internal/simnet"
+)
+
+// lossyTopo wires the standard hierarchy over a lossy network.
+func lossyTopo(t *testing.T, seed int64, dropRate float64, cfg Config) (*simnet.Network, *Resolver, *Stub) {
+	t.Helper()
+	n := simnet.New(simnet.Config{
+		Seed: seed,
+		Loss: func(src, dst simnet.IP, rng *rand.Rand) bool {
+			// Loss only on the resolver↔authoritative legs so the stub
+			// client itself is not flaky.
+			if src == stubIP || dst == stubIP {
+				return false
+			}
+			return rng.Float64() < dropRate
+		},
+	})
+	rootHost, _ := n.AddHost(rootIP)
+	rootSrv, _ := dnsserver.New(rootHost)
+	rootZone := dnsserver.NewDelegatingZone("")
+	rootZone.Delegate(dnsserver.Delegation{
+		Child: "ntp.org", NSTTL: 3600,
+		Glue: []dnsserver.NSGlue{{Name: "ns1.ntp.org", IP: ntpOrgIP, TTL: 3600}},
+	})
+	_ = rootSrv.AddZone("", rootZone)
+
+	ntpHost, _ := n.AddHost(ntpOrgIP)
+	ntpSrv, _ := dnsserver.New(ntpHost)
+	z := dnsserver.NewStaticZone("ntp.org")
+	z.Add(dnswire.ARecord("www.ntp.org", 300, [4]byte{9, 9, 9, 9}))
+	_ = ntpSrv.AddZone("ntp.org", z)
+
+	resHost, _ := n.AddHost(resolverIP)
+	res, err := New(resHost, cfg, []Hint{{Zone: "", Addr: simnet.Addr{IP: rootIP, Port: 53}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, _ := n.AddHost(stubIP)
+	return n, res, NewStub(sh, res.Addr(), 30*time.Second)
+}
+
+// TestRetriesRecoverFromLoss: with 30% loss and generous retries the
+// resolver still answers; timeouts are recorded.
+func TestRetriesRecoverFromLoss(t *testing.T) {
+	n, _, stub := lossyTopo(t, 401, 0.3, Config{Timeout: time.Second, Retries: 8})
+	var got Result
+	gotSet := false
+	stub.Lookup("www.ntp.org", dnswire.TypeA, func(r Result) { got, gotSet = r, true })
+	n.RunFor(time.Minute)
+	if !gotSet {
+		t.Fatal("lookup never completed")
+	}
+	if got.Err != nil {
+		t.Fatalf("lookup failed under 30%% loss with retries: %v", got.Err)
+	}
+	if len(got.RRs) != 1 || got.RRs[0].A != [4]byte{9, 9, 9, 9} {
+		t.Errorf("answers: %+v", got.RRs)
+	}
+}
+
+// TestHeavyLossEventuallyFails: at near-total loss the resolver reports
+// failure instead of hanging.
+func TestHeavyLossEventuallyFails(t *testing.T) {
+	n, res, stub := lossyTopo(t, 402, 0.995, Config{Timeout: 500 * time.Millisecond, Retries: 2})
+	var got Result
+	gotSet := false
+	stub.Lookup("www.ntp.org", dnswire.TypeA, func(r Result) { got, gotSet = r, true })
+	n.RunFor(2 * time.Minute)
+	if !gotSet {
+		t.Fatal("lookup never completed")
+	}
+	if got.Err == nil {
+		t.Error("lookup should fail at 99.5% loss")
+	}
+	if res.Stats().Timeouts == 0 {
+		t.Error("no timeouts recorded")
+	}
+}
+
+// TestDuplicateResponsesHarmless: a duplicated (replayed) upstream
+// response must not corrupt resolver state or answer twice.
+func TestDuplicateResponsesHarmless(t *testing.T) {
+	n := simnet.New(simnet.Config{Seed: 403})
+	// Duplicate every root→resolver packet via a tap.
+	srvHost, _ := n.AddHost(ntpOrgIP)
+	srv, _ := dnsserver.New(srvHost)
+	z := dnsserver.NewStaticZone("ntp.org")
+	z.Add(dnswire.ARecord("www.ntp.org", 300, [4]byte{9, 9, 9, 9}))
+	_ = srv.AddZone("ntp.org", z)
+	n.AddTap(simnet.TapFunc(func(pkt simnet.Packet) (simnet.Verdict, []simnet.Packet) {
+		if pkt.Src == ntpOrgIP {
+			dup := pkt
+			return simnet.Replace, []simnet.Packet{pkt, dup}
+		}
+		return simnet.Pass, nil
+	}))
+	resHost, _ := n.AddHost(resolverIP)
+	res, err := New(resHost, Config{}, []Hint{{Zone: "ntp.org", Addr: simnet.Addr{IP: ntpOrgIP, Port: 53}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	res.Lookup("www.ntp.org", dnswire.TypeA, func(r Result) {
+		calls++
+		if r.Err != nil {
+			t.Errorf("lookup failed: %v", r.Err)
+		}
+	})
+	n.RunFor(time.Minute)
+	if calls != 1 {
+		t.Errorf("callback fired %d times, want exactly once", calls)
+	}
+}

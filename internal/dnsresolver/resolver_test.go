@@ -1,0 +1,482 @@
+package dnsresolver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"chronosntp/internal/dnsserver"
+	"chronosntp/internal/dnswire"
+	"chronosntp/internal/simnet"
+)
+
+var (
+	rootIP     = simnet.IPv4(198, 41, 0, 4)
+	ntpOrgIP   = simnet.IPv4(198, 51, 100, 10)
+	resolverIP = simnet.IPv4(10, 0, 0, 53)
+	stubIP     = simnet.IPv4(10, 0, 0, 1)
+)
+
+// topo is the canonical two-level DNS hierarchy used across the
+// reproduction: root delegates ntp.org; the ntp.org server hosts the pool
+// zone.
+type topo struct {
+	net      *simnet.Network
+	root     *dnsserver.Authoritative
+	ntporg   *dnsserver.Authoritative
+	pool     *dnsserver.PoolZone
+	resolver *Resolver
+	stubHost *simnet.Host
+	stub     *Stub
+}
+
+func newTopo(t *testing.T, cfg Config) *topo {
+	t.Helper()
+	n := simnet.New(simnet.Config{Seed: 31})
+
+	rootHost, err := n.AddHost(rootIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootSrv, err := dnsserver.New(rootHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootZone := dnsserver.NewDelegatingZone("")
+	rootZone.Delegate(dnsserver.Delegation{
+		Child: "ntp.org",
+		NSTTL: 3600,
+		Glue:  []dnsserver.NSGlue{{Name: "ns1.ntp.org", IP: ntpOrgIP, TTL: 3600}},
+	})
+	if err := rootSrv.AddZone("", rootZone); err != nil {
+		t.Fatal(err)
+	}
+
+	ntpHost, err := n.AddHost(ntpOrgIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ntpSrv, err := dnsserver.New(ntpHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inventory := make([]simnet.IP, 500)
+	for i := range inventory {
+		inventory[i] = simnet.IPv4(203, byte(i/250), byte(i%250), 1)
+	}
+	pool, err := dnsserver.NewPoolZone(dnsserver.PoolConfig{Name: "pool.ntp.org"}, n.Now(), inventory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ntpSrv.AddZone("pool.ntp.org", pool); err != nil {
+		t.Fatal(err)
+	}
+	ntpZone := dnsserver.NewStaticZone("ntp.org")
+	ntpZone.Add(dnswire.ARecord("ns1.ntp.org", 3600, [4]byte(ntpOrgIP)))
+	ntpZone.Add(dnswire.TXTRecord("info.ntp.org", 60, "ntp zone"))
+	if err := ntpSrv.AddZone("ntp.org", ntpZone); err != nil {
+		t.Fatal(err)
+	}
+
+	resHost, err := n.AddHost(resolverIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(resHost, cfg, []Hint{{Zone: "", Addr: simnet.Addr{IP: rootIP, Port: DNSPort}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stubHost, err := n.AddHost(stubIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stub := NewStub(stubHost, res.Addr(), 0)
+
+	return &topo{
+		net: n, root: rootSrv, ntporg: ntpSrv, pool: pool,
+		resolver: res, stubHost: stubHost, stub: stub,
+	}
+}
+
+// lookup drives a stub lookup to completion.
+func (tp *topo) lookup(t *testing.T, name string, qtype dnswire.Type) Result {
+	t.Helper()
+	var got *Result
+	tp.stub.Lookup(name, qtype, func(res Result) { got = &res })
+	tp.net.RunFor(10 * time.Second)
+	if got == nil {
+		t.Fatalf("lookup %s/%v never completed", name, qtype)
+	}
+	return *got
+}
+
+func TestIterativeResolution(t *testing.T) {
+	tp := newTopo(t, Config{})
+	res := tp.lookup(t, "pool.ntp.org", dnswire.TypeA)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.RRs) != 4 {
+		t.Fatalf("answers = %d, want 4", len(res.RRs))
+	}
+	// The resolver walked root → ntp.org.
+	if tp.root.Queries() != 1 || tp.ntporg.Queries() != 1 {
+		t.Errorf("queries: root=%d ntporg=%d", tp.root.Queries(), tp.ntporg.Queries())
+	}
+	// NS + glue now cached.
+	now := tp.net.Now()
+	if _, ok := tp.resolver.Cache().Get(now, "ntp.org", dnswire.TypeNS); !ok {
+		t.Error("NS record not cached")
+	}
+	if _, ok := tp.resolver.Cache().Get(now, "ns1.ntp.org", dnswire.TypeA); !ok {
+		t.Error("glue not cached")
+	}
+}
+
+func TestCacheHitSkipsUpstream(t *testing.T) {
+	tp := newTopo(t, Config{})
+	_ = tp.lookup(t, "pool.ntp.org", dnswire.TypeA)
+	upstreamBefore := tp.resolver.Stats().UpstreamQueries
+	res := tp.lookup(t, "pool.ntp.org", dnswire.TypeA)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if got := tp.resolver.Stats().UpstreamQueries; got != upstreamBefore {
+		t.Errorf("cache hit still sent %d upstream queries", got-upstreamBefore)
+	}
+	if tp.resolver.Stats().CacheHits == 0 {
+		t.Error("no cache hit recorded")
+	}
+}
+
+func TestCacheExpiryTriggersRequery(t *testing.T) {
+	tp := newTopo(t, Config{})
+	_ = tp.lookup(t, "pool.ntp.org", dnswire.TypeA)
+	ntpBefore := tp.ntporg.Queries()
+	rootBefore := tp.root.Queries()
+	// Pool TTL is 150s; NS TTL is 3600s. After 5 minutes the A record is
+	// stale but the delegation is fresh: requery hits ntp.org only.
+	tp.net.RunFor(5 * time.Minute)
+	_ = tp.lookup(t, "pool.ntp.org", dnswire.TypeA)
+	if tp.ntporg.Queries() != ntpBefore+1 {
+		t.Errorf("ntporg queries = %d, want +1", tp.ntporg.Queries())
+	}
+	if tp.root.Queries() != rootBefore {
+		t.Errorf("root queries = %d, want unchanged", tp.root.Queries())
+	}
+}
+
+func TestNXDomainAndNegativeCache(t *testing.T) {
+	tp := newTopo(t, Config{})
+	res := tp.lookup(t, "missing.ntp.org", dnswire.TypeA)
+	if !errors.Is(res.Err, ErrNXDomain) {
+		t.Fatalf("err = %v, want NXDOMAIN", res.Err)
+	}
+	before := tp.resolver.Stats().UpstreamQueries
+	res = tp.lookup(t, "missing.ntp.org", dnswire.TypeA)
+	if !errors.Is(res.Err, ErrNXDomain) {
+		t.Fatalf("second err = %v", res.Err)
+	}
+	if tp.resolver.Stats().UpstreamQueries != before {
+		t.Error("negative cache did not suppress upstream query")
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	tp := newTopo(t, Config{})
+	results := 0
+	// Two lookups for the same name before any response arrives must
+	// coalesce into one upstream resolution.
+	tp.resolver.Lookup("pool.ntp.org", dnswire.TypeA, func(Result) { results++ })
+	tp.resolver.Lookup("pool.ntp.org", dnswire.TypeA, func(Result) { results++ })
+	tp.net.RunFor(5 * time.Second)
+	if results != 2 {
+		t.Fatalf("callbacks = %d, want 2", results)
+	}
+	// root + ntp.org = exactly 2 upstream queries despite 2 clients.
+	if got := tp.resolver.Stats().UpstreamQueries; got != 2 {
+		t.Errorf("upstream queries = %d, want 2", got)
+	}
+}
+
+func TestTimeoutAndRetry(t *testing.T) {
+	// A resolver pointed at a dead root: retries then fails.
+	n := simnet.New(simnet.Config{Seed: 5})
+	resHost, _ := n.AddHost(resolverIP)
+	res, err := New(resHost, Config{Timeout: time.Second, Retries: 2},
+		[]Hint{{Zone: "", Addr: simnet.Addr{IP: rootIP, Port: 53}}}) // rootIP not added to net
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *Result
+	res.Lookup("pool.ntp.org", dnswire.TypeA, func(r Result) { got = &r })
+	n.RunFor(time.Minute)
+	if got == nil {
+		t.Fatal("lookup never completed")
+	}
+	if !errors.Is(got.Err, ErrTimeout) {
+		t.Errorf("err = %v, want timeout", got.Err)
+	}
+	if res.Stats().Timeouts != 3 { // initial + 2 retries
+		t.Errorf("timeouts = %d, want 3", res.Stats().Timeouts)
+	}
+}
+
+func TestSpoofedResponseWrongTXIDRejected(t *testing.T) {
+	// An off-path attacker who does not know the TXID cannot poison the
+	// resolver with a directly spoofed response.
+	tp := newTopo(t, Config{})
+	attacker, err := tp.net.AddHost(simnet.IPv4(66, 66, 66, 66))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = attacker
+
+	var got *Result
+	tp.resolver.Lookup("pool.ntp.org", dnswire.TypeA, func(r Result) { got = &r })
+	// Let the query leave, then blast spoofed responses with random
+	// TXIDs at likely ports before the genuine answer lands.
+	for txid := 0; txid < 200; txid++ {
+		forged := dnswire.NewQuery(uint16(txid*321), "pool.ntp.org", dnswire.TypeA)
+		forged.RecursionDesired = false
+		resp := forged.Reply()
+		resp.Authoritative = true
+		resp.Answers = []dnswire.RR{dnswire.ARecord("pool.ntp.org", 999999, [4]byte{6, 6, 6, 6})}
+		b, _ := resp.Encode()
+		for _, port := range []uint16{49152, 49153} {
+			datagram := simnet.EncodeUDP(
+				simnet.Addr{IP: rootIP, Port: 53},
+				simnet.Addr{IP: resolverIP, Port: port}, b)
+			tp.net.Inject(simnet.Packet{
+				Src: rootIP, Dst: resolverIP, Proto: simnet.ProtoUDP,
+				ID: uint16(txid), Payload: datagram,
+			}, time.Millisecond)
+		}
+	}
+	tp.net.RunFor(10 * time.Second)
+	if got == nil || got.Err != nil {
+		t.Fatalf("resolution failed: %+v", got)
+	}
+	for _, rr := range got.RRs {
+		if rr.A == [4]byte{6, 6, 6, 6} {
+			t.Fatal("spoofed record accepted despite TXID mismatch")
+		}
+	}
+}
+
+func TestAcceptancePolicyRejectsOversizedAnswers(t *testing.T) {
+	// §V mitigation: responses with more than 4 A records are dropped.
+	// Build a pool zone that returns 10 records per response.
+	n := simnet.New(simnet.Config{Seed: 77})
+	srvHost, _ := n.AddHost(ntpOrgIP)
+	srv, _ := dnsserver.New(srvHost)
+	inventory := make([]simnet.IP, 100)
+	for i := range inventory {
+		inventory[i] = simnet.IPv4(203, 0, byte(i), 1)
+	}
+	pool, _ := dnsserver.NewPoolZone(dnsserver.PoolConfig{Name: "pool.ntp.org", PerResponse: 10}, n.Now(), inventory)
+	_ = srv.AddZone("pool.ntp.org", pool)
+
+	resHost, _ := n.AddHost(resolverIP)
+	res, err := New(resHost, Config{
+		Timeout: time.Second, Retries: 1,
+		Accept: AcceptancePolicy{MaxAnswerRecords: 4},
+	}, []Hint{{Zone: "pool.ntp.org", Addr: simnet.Addr{IP: ntpOrgIP, Port: 53}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *Result
+	res.Lookup("pool.ntp.org", dnswire.TypeA, func(r Result) { got = &r })
+	n.RunFor(30 * time.Second)
+	if got == nil {
+		t.Fatal("never completed")
+	}
+	if got.Err == nil {
+		t.Fatal("10-record response accepted despite MaxAnswerRecords=4")
+	}
+	if res.Stats().PolicyRejects == 0 {
+		t.Error("no policy rejects recorded")
+	}
+}
+
+func TestAcceptancePolicyRejectsHighTTL(t *testing.T) {
+	n := simnet.New(simnet.Config{Seed: 78})
+	srvHost, _ := n.AddHost(ntpOrgIP)
+	srv, _ := dnsserver.New(srvHost)
+	z := dnsserver.NewStaticZone("ntp.org")
+	z.Add(dnswire.ARecord("x.ntp.org", 86400*7, [4]byte{1, 2, 3, 4})) // 7-day TTL
+	_ = srv.AddZone("ntp.org", z)
+
+	resHost, _ := n.AddHost(resolverIP)
+	res, err := New(resHost, Config{
+		Timeout: time.Second, Retries: 1,
+		Accept: AcceptancePolicy{MaxTTL: 24 * time.Hour},
+	}, []Hint{{Zone: "ntp.org", Addr: simnet.Addr{IP: ntpOrgIP, Port: 53}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *Result
+	res.Lookup("x.ntp.org", dnswire.TypeA, func(r Result) { got = &r })
+	n.RunFor(30 * time.Second)
+	if got == nil || got.Err == nil {
+		t.Fatal("high-TTL response accepted despite MaxTTL")
+	}
+}
+
+func TestOutOfBailiwickGlueIgnored(t *testing.T) {
+	// A referral whose glue lies outside the answering zone must not be
+	// cached (classic bailiwick rule).
+	n := simnet.New(simnet.Config{Seed: 79})
+	rootHost, _ := n.AddHost(rootIP)
+	rootSrv, _ := dnsserver.New(rootHost)
+	zone := dnsserver.NewDelegatingZone("org")
+	zone.Delegate(dnsserver.Delegation{
+		Child: "ntp.org",
+		NSTTL: 3600,
+		Glue: []dnsserver.NSGlue{
+			// Out-of-zone glue: a .com name served by the .org zone.
+			{Name: "evil.example.com", IP: simnet.IPv4(6, 6, 6, 6), TTL: 999999},
+			{Name: "ns1.ntp.org", IP: ntpOrgIP, TTL: 3600},
+		},
+	})
+	_ = rootSrv.AddZone("org", zone)
+
+	ntpHost, _ := n.AddHost(ntpOrgIP)
+	ntpSrv, _ := dnsserver.New(ntpHost)
+	st := dnsserver.NewStaticZone("ntp.org")
+	st.Add(dnswire.ARecord("www.ntp.org", 300, [4]byte{9, 9, 9, 9}))
+	_ = ntpSrv.AddZone("ntp.org", st)
+
+	resHost, _ := n.AddHost(resolverIP)
+	res, err := New(resHost, Config{}, []Hint{{Zone: "org", Addr: simnet.Addr{IP: rootIP, Port: 53}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got *Result
+	res.Lookup("www.ntp.org", dnswire.TypeA, func(r Result) { got = &r })
+	n.RunFor(30 * time.Second)
+	if got == nil || got.Err != nil {
+		t.Fatalf("resolution failed: %+v", got)
+	}
+	if _, cached := res.Cache().Get(n.Now(), "evil.example.com", dnswire.TypeA); cached {
+		t.Error("out-of-bailiwick glue was cached")
+	}
+}
+
+func TestStubServesViaUDP(t *testing.T) {
+	tp := newTopo(t, Config{})
+	var ips []simnet.IP
+	var lookupErr error
+	tp.stub.LookupA("pool.ntp.org", func(got []simnet.IP, err error) { ips, lookupErr = got, err })
+	tp.net.RunFor(10 * time.Second)
+	if lookupErr != nil {
+		t.Fatal(lookupErr)
+	}
+	if len(ips) != 4 {
+		t.Errorf("ips = %d, want 4", len(ips))
+	}
+	if tp.resolver.Stats().ClientQueries != 1 {
+		t.Errorf("client queries = %d", tp.resolver.Stats().ClientQueries)
+	}
+}
+
+func TestStubTimeout(t *testing.T) {
+	n := simnet.New(simnet.Config{Seed: 80})
+	sh, _ := n.AddHost(stubIP)
+	stub := NewStub(sh, simnet.Addr{IP: resolverIP, Port: 53}, time.Second) // resolver absent
+	var got error = nil
+	called := false
+	stub.Lookup("pool.ntp.org", dnswire.TypeA, func(res Result) { called, got = true, res.Err })
+	n.RunFor(10 * time.Second)
+	if !called || !errors.Is(got, ErrStubTimeout) {
+		t.Errorf("called=%v err=%v", called, got)
+	}
+}
+
+func TestSharedResolverCrossClientVisibility(t *testing.T) {
+	// A record cached on behalf of one client (e.g. an SMTP server) is
+	// served to another (the Chronos client) — the shared-resolver model
+	// that lets attackers trigger poisoning via third-party systems.
+	tp := newTopo(t, Config{})
+	otherHost, err := tp.net.AddHost(simnet.IPv4(10, 0, 0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := NewStub(otherHost, tp.resolver.Addr(), 0)
+	var first []dnswire.RR
+	other.Lookup("pool.ntp.org", dnswire.TypeA, func(r Result) { first = r.RRs })
+	tp.net.RunFor(10 * time.Second)
+	if len(first) == 0 {
+		t.Fatal("first client got nothing")
+	}
+	before := tp.resolver.Stats().UpstreamQueries
+	res := tp.lookup(t, "pool.ntp.org", dnswire.TypeA)
+	if res.Err != nil || len(res.RRs) == 0 {
+		t.Fatal("second client failed")
+	}
+	if tp.resolver.Stats().UpstreamQueries != before {
+		t.Error("second client was not served from the shared cache")
+	}
+	// And both see the same addresses.
+	for i := range first {
+		if first[i].A != res.RRs[i].A {
+			t.Error("clients saw different cached records")
+		}
+	}
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache()
+	now := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	rr := dnswire.ARecord("a.example", 100, [4]byte{1, 2, 3, 4})
+	c.Put(now, "a.example", dnswire.TypeA, []dnswire.RR{rr})
+	if c.Len() != 1 {
+		t.Error("Len != 1")
+	}
+	got, ok := c.Get(now.Add(40*time.Second), "a.example", dnswire.TypeA)
+	if !ok || got[0].TTL != 60 {
+		t.Errorf("aged TTL = %d, want 60", got[0].TTL)
+	}
+	if _, ok := c.Get(now.Add(101*time.Second), "a.example", dnswire.TypeA); ok {
+		t.Error("expired entry served")
+	}
+	// Negative cache.
+	c.PutNegative(now, "neg.example", dnswire.TypeA, 30*time.Second)
+	if !c.GetNegative(now.Add(10*time.Second), "neg.example", dnswire.TypeA) {
+		t.Error("negative entry missing")
+	}
+	if c.GetNegative(now.Add(31*time.Second), "neg.example", dnswire.TypeA) {
+		t.Error("expired negative entry served")
+	}
+	// Flush & purge.
+	c.Put(now, "b.example", dnswire.TypeA, []dnswire.RR{rr})
+	if !c.Flush("b.example", dnswire.TypeA) {
+		t.Error("flush missed")
+	}
+	c.Put(now, "c.example", dnswire.TypeA, []dnswire.RR{rr})
+	c.Purge(now.Add(time.Hour))
+	if c.Len() != 0 {
+		t.Errorf("Len after purge = %d", c.Len())
+	}
+	// Empty put is a no-op.
+	c.Put(now, "d.example", dnswire.TypeA, nil)
+	if c.Len() != 0 {
+		t.Error("empty put stored something")
+	}
+}
+
+func TestCacheDumpDeterministic(t *testing.T) {
+	c := NewCache()
+	now := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	c.Put(now, "b.example", dnswire.TypeA, []dnswire.RR{dnswire.ARecord("b.example", 60, [4]byte{2, 2, 2, 2})})
+	c.Put(now, "a.example", dnswire.TypeA, []dnswire.RR{dnswire.ARecord("a.example", 60, [4]byte{1, 1, 1, 1})})
+	d1 := c.Dump(now)
+	d2 := c.Dump(now)
+	if len(d1) != 2 || len(d2) != 2 {
+		t.Fatalf("dump sizes: %d, %d", len(d1), len(d2))
+	}
+	if d1[0].Name != "a.example" {
+		t.Error("dump not sorted")
+	}
+}

@@ -1,0 +1,84 @@
+package dnsserver
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"chronosntp/internal/dnswire"
+	"chronosntp/internal/simnet"
+)
+
+// Delegation describes a child zone cut: NS records plus glue addresses.
+type Delegation struct {
+	Child string   // delegated zone, e.g. "ntp.org"
+	NSTTL uint32   // TTL of the NS records
+	Glue  []NSGlue // nameservers with their addresses
+}
+
+// NSGlue pairs a nameserver name with its glue address and TTL.
+type NSGlue struct {
+	Name string
+	IP   simnet.IP
+	TTL  uint32
+}
+
+// DelegatingZone serves a zone's own records and referrals for its child
+// zone cuts, the behaviour a parent (root/TLD) server exhibits. Referral
+// responses — authority NS plus additional glue — are the payload the
+// defragmentation-poisoning attack rewrites: spoofed glue redirects a
+// victim resolver to an attacker-controlled "nameserver".
+type DelegatingZone struct {
+	zone        string
+	own         *StaticZone
+	delegations map[string]Delegation
+}
+
+var _ Responder = (*DelegatingZone)(nil)
+
+// NewDelegatingZone builds an empty delegating zone.
+func NewDelegatingZone(zone string) *DelegatingZone {
+	zone = dnswire.NormalizeName(zone)
+	return &DelegatingZone{
+		zone:        zone,
+		own:         NewStaticZone(zone),
+		delegations: make(map[string]Delegation),
+	}
+}
+
+// Add appends an own-zone record.
+func (z *DelegatingZone) Add(rr dnswire.RR) { z.own.Add(rr) }
+
+// Delegate registers a child zone cut.
+func (z *DelegatingZone) Delegate(d Delegation) {
+	d.Child = dnswire.NormalizeName(d.Child)
+	z.delegations[d.Child] = d
+}
+
+// Respond implements Responder: referral for names under a delegated
+// child, own records otherwise.
+func (z *DelegatingZone) Respond(now time.Time, q dnswire.Question, rng *rand.Rand) Answer {
+	name := dnswire.NormalizeName(q.Name)
+	// Most specific delegation containing the name wins.
+	var best string
+	found := false
+	for child := range z.delegations {
+		if dnswire.InZone(name, child) && child != z.zone && (!found || len(child) > len(best)) {
+			best, found = child, true
+		}
+	}
+	if found {
+		d := z.delegations[best]
+		ans := Answer{}
+		// Deterministic glue order keeps responses byte-predictable
+		// inside a rotation window (the attack probes for exact bytes).
+		glue := append([]NSGlue(nil), d.Glue...)
+		sort.Slice(glue, func(i, j int) bool { return glue[i].Name < glue[j].Name })
+		for _, g := range glue {
+			ans.Authority = append(ans.Authority, dnswire.NSRecord(d.Child, d.NSTTL, g.Name))
+			ans.Additional = append(ans.Additional, dnswire.ARecord(g.Name, g.TTL, [4]byte(g.IP)))
+		}
+		return ans
+	}
+	return z.own.Respond(now, q, rng)
+}

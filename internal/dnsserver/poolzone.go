@@ -1,0 +1,132 @@
+package dnsserver
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"chronosntp/internal/dnswire"
+	"chronosntp/internal/simnet"
+)
+
+// Rotation selects how the pool zone picks which subset of its inventory
+// to return for each query.
+type Rotation int
+
+const (
+	// RotateWindowed returns a subset determined by the query's time
+	// window (default 150 s, matching the record TTL): every query inside
+	// one window sees the same answer. This mirrors real pool behaviour
+	// closely enough and — crucially for the defragmentation attack — lets
+	// an attacker probe the nameserver, learn the exact bytes of the
+	// current response, and plant a checksum-compensated spoofed fragment
+	// before the victim resolver queries inside the same window.
+	RotateWindowed Rotation = iota + 1
+	// RotateRandom draws a fresh random subset per query, making response
+	// bytes unpredictable (an ablation: it degrades the defragmentation
+	// attack to a probabilistic one).
+	RotateRandom
+)
+
+// PoolConfig parameterises a PoolZone.
+type PoolConfig struct {
+	Name        string        // pool domain, e.g. "pool.ntp.org"
+	TTL         uint32        // per-record TTL in seconds; default 150
+	PerResponse int           // addresses per response; default 4
+	Rotation    Rotation      // default RotateWindowed
+	Window      time.Duration // rotation window; default TTL
+}
+
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.TTL == 0 {
+		c.TTL = 150
+	}
+	if c.PerResponse == 0 {
+		c.PerResponse = dnswire.BenignPoolResponseRecords
+	}
+	if c.Rotation == 0 {
+		c.Rotation = RotateWindowed
+	}
+	if c.Window == 0 {
+		c.Window = time.Duration(c.TTL) * time.Second
+	}
+	return c
+}
+
+// ErrEmptyPool is returned when constructing a pool with no servers.
+var ErrEmptyPool = errors.New("dnsserver: empty pool inventory")
+
+// PoolZone answers A queries for a pool domain with a rotating subset of a
+// large NTP-server inventory, like pool.ntp.org.
+type PoolZone struct {
+	cfg       PoolConfig
+	inventory []simnet.IP
+	epoch     time.Time
+}
+
+var _ Responder = (*PoolZone)(nil)
+
+// NewPoolZone builds a pool zone over inventory. The epoch anchors the
+// rotation windows.
+func NewPoolZone(cfg PoolConfig, epoch time.Time, inventory []simnet.IP) (*PoolZone, error) {
+	if len(inventory) == 0 {
+		return nil, ErrEmptyPool
+	}
+	cfg = cfg.withDefaults()
+	cfg.Name = dnswire.NormalizeName(cfg.Name)
+	inv := make([]simnet.IP, len(inventory))
+	copy(inv, inventory)
+	return &PoolZone{cfg: cfg, inventory: inv, epoch: epoch}, nil
+}
+
+// Name returns the pool's domain name.
+func (p *PoolZone) Name() string { return p.cfg.Name }
+
+// InventorySize returns the number of servers behind the pool.
+func (p *PoolZone) InventorySize() int { return len(p.inventory) }
+
+// Respond implements Responder.
+func (p *PoolZone) Respond(now time.Time, q dnswire.Question, rng *rand.Rand) Answer {
+	if dnswire.NormalizeName(q.Name) != p.cfg.Name {
+		return Answer{RCode: dnswire.RCodeNXDomain}
+	}
+	if q.Type != dnswire.TypeA {
+		return Answer{} // NOERROR, no data
+	}
+	ips := p.Select(now, rng)
+	ans := Answer{Answers: make([]dnswire.RR, 0, len(ips))}
+	for _, ip := range ips {
+		ans.Answers = append(ans.Answers, dnswire.ARecord(p.cfg.Name, p.cfg.TTL, [4]byte(ip)))
+	}
+	return ans
+}
+
+// Select returns the addresses the pool would answer with at time now.
+// Exported so attack code can "probe" the response without the network
+// round-trip in analytical experiments.
+func (p *PoolZone) Select(now time.Time, rng *rand.Rand) []simnet.IP {
+	k := p.cfg.PerResponse
+	if k > len(p.inventory) {
+		k = len(p.inventory)
+	}
+	switch p.cfg.Rotation {
+	case RotateRandom:
+		return p.pick(rng, k)
+	default:
+		window := now.Sub(p.epoch) / p.cfg.Window
+		// A window-seeded RNG gives every query in the window the same
+		// deterministic subset.
+		wrng := rand.New(rand.NewSource(int64(window) ^ 0x5DEECE66D))
+		return p.pick(wrng, k)
+	}
+}
+
+// pick draws k distinct inventory addresses using rng.
+func (p *PoolZone) pick(rng *rand.Rand, k int) []simnet.IP {
+	idx := rng.Perm(len(p.inventory))[:k]
+	out := make([]simnet.IP, k)
+	for i, j := range idx {
+		out[i] = p.inventory[j]
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+package dnswire
+
+// ARecordWireSize is the wire cost of one A record in a response whose
+// owner name is compressed to a 2-byte pointer at the question:
+// 2 (pointer) + 2 (type) + 2 (class) + 4 (ttl) + 2 (rdlength) + 4 (rdata).
+const ARecordWireSize = 16
+
+// MaxARecords returns the largest number of A records answering qname that
+// fit in a single DNS/UDP response of at most payload bytes, assuming name
+// compression (every answer's owner name is a pointer to the question) and
+// an OPT record when edns is true.
+//
+// For qname "pool.ntp.org", payload 1472 (Ethernet without fragmentation)
+// and EDNS0, this yields 89 — the figure the paper cites for the forged
+// pool response ("up to 89 for a single non-fragmented DNS response").
+// Without EDNS0 the classic 512-byte limit admits only 30.
+func MaxARecords(qname string, payload int, edns bool) (int, error) {
+	nameLen, err := EncodedNameLen(qname)
+	if err != nil {
+		return 0, err
+	}
+	fixed := 12 + nameLen + 4 // header + question
+	if edns {
+		fixed += 11 // root name (1) + type (2) + class (2) + ttl (4) + rdlength (2)
+	}
+	room := payload - fixed
+	if room < 0 {
+		return 0, nil
+	}
+	return room / ARecordWireSize, nil
+}
+
+// BenignPoolResponseRecords is how many A records pool.ntp.org returns per
+// query (the paper: "each DNS response contains 4 NTP servers as in the
+// case of pool.ntp.org").
+const BenignPoolResponseRecords = 4

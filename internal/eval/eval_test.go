@@ -1,0 +1,176 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID: "X", Title: "demo",
+		Columns: []string{"a", "long-column"},
+	}
+	tbl.AddRow(1, "v")
+	tbl.AddRow("wide-cell-value", 2.5)
+	tbl.Notes = append(tbl.Notes, "a note")
+	out := tbl.Render()
+	for _, want := range []string{"== X: demo ==", "long-column", "wide-cell-value", "2.500", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1Experiment(t *testing.T) {
+	tbl, err := Figure1(301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 24 {
+		t.Fatalf("rows = %d, want 24", len(tbl.Rows))
+	}
+	// Query 12 row carries the 89 malicious jump.
+	if tbl.Rows[11][2] != "89" {
+		t.Errorf("q12 malicious = %s, want 89", tbl.Rows[11][2])
+	}
+	// Pool frozen afterwards.
+	if tbl.Rows[23][2] != "89" || tbl.Rows[23][1] != tbl.Rows[11][1] {
+		t.Errorf("final row = %v, want frozen pool", tbl.Rows[23])
+	}
+}
+
+func TestAttackWindowExperiment(t *testing.T) {
+	tbl, err := AttackWindow(302)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 24 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The 2/3 column flips between query 12 and 13.
+	if tbl.Rows[11][3] != "true" {
+		t.Errorf("q12 ≥2/3 = %s, want true", tbl.Rows[11][3])
+	}
+	if tbl.Rows[12][3] != "false" {
+		t.Errorf("q13 ≥2/3 = %s, want false", tbl.Rows[12][3])
+	}
+}
+
+func TestMaxAddressesExperiment(t *testing.T) {
+	tbl, err := MaxAddresses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found89 := false
+	for _, row := range tbl.Rows {
+		if row[0] == "1472" && row[2] == "89" {
+			found89 = true
+		}
+	}
+	if !found89 {
+		t.Errorf("table missing the 89-record row: %v", tbl.Rows)
+	}
+}
+
+func TestChronosSecurityExperiment(t *testing.T) {
+	tbl, err := ChronosSecurity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The last row (poisoned pool) must show a finite, small effort.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[6] == "+Inf" {
+		t.Errorf("poisoned-pool years = %s, want finite", last[6])
+	}
+}
+
+func TestFragmentationStudyExperiment(t *testing.T) {
+	tbl, err := FragmentationStudy(303)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"fragment at MTU 548":                        "16/30",
+		"accept fragments of some size":              "90%",
+		"accept 68-byte-MTU fragments":               "64%",
+		"queries triggerable via SMTP/open resolver": "14%",
+	}
+	for _, row := range tbl.Rows {
+		if exp, ok := want[row[1]]; ok {
+			if row[3] != exp {
+				t.Errorf("%s: measured %s, want %s (calibrated ground truth)", row[1], row[3], exp)
+			}
+			delete(want, row[1])
+		}
+	}
+	if len(want) != 0 {
+		t.Errorf("missing rows: %v", want)
+	}
+}
+
+func TestMitigationsExperiment(t *testing.T) {
+	tbl, err := Mitigations(304)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Vulnerable row: attacker fraction ≥ 2/3.
+	if tbl.Rows[0][3] != "89" {
+		t.Errorf("vulnerable malicious = %s", tbl.Rows[0][3])
+	}
+	// Mitigated rows: zero malicious.
+	for _, i := range []int{1, 2, 3} {
+		if tbl.Rows[i][3] != "0" {
+			t.Errorf("row %d (%s) malicious = %s, want 0", i, tbl.Rows[i][0], tbl.Rows[i][3])
+		}
+	}
+	// Persistent hijack defeats everything: fraction 1.0.
+	if tbl.Rows[4][4] != "1.000" {
+		t.Errorf("persistent hijack fraction = %s, want 1.000", tbl.Rows[4][4])
+	}
+}
+
+func TestAblationsExperiment(t *testing.T) {
+	tbl, err := Ablations(306)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tbl.Rows))
+	}
+	// TTL pinning: the 7-day row must show a strictly higher attacker
+	// fraction than the 150s row.
+	if tbl.Rows[0][1] != "168h0m0s" || tbl.Rows[1][1] != "2m30s" {
+		t.Fatalf("unexpected TTL rows: %v / %v", tbl.Rows[0], tbl.Rows[1])
+	}
+	frac := func(s string) float64 {
+		i := strings.LastIndex(s, " ")
+		var f float64
+		if _, err := fmt.Sscanf(s[i+1:], "%f", &f); err != nil {
+			t.Fatalf("cannot parse fraction from %q: %v", s, err)
+		}
+		return f
+	}
+	if frac(tbl.Rows[0][2]) <= frac(tbl.Rows[1][2]) {
+		t.Errorf("TTL pinning showed no effect: %q vs %q", tbl.Rows[0][2], tbl.Rows[1][2])
+	}
+}
+
+func TestTimeShiftExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hour simulated sync phases")
+	}
+	tbl, err := TimeShift(305)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}

@@ -1,0 +1,277 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"chronosntp/internal/analysis"
+	"chronosntp/internal/core"
+	"chronosntp/internal/mitigation"
+)
+
+// Figure1 reproduces the paper's Figure 1: the Chronos pool composition
+// across the 24 hourly pool-generation queries with the defragmentation
+// poisoning landing at query 12. Paper: 44 benign + 89 malicious ⇒ the
+// attacker holds a 2/3 majority.
+func Figure1(seed int64) (*Table, error) {
+	s, err := core.NewScenario(core.Config{
+		Seed: seed, Mechanism: core.Defrag, PoisonQuery: 12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E1",
+		Title:   "Figure 1 — DNS poisoning attack on Chronos pool generation (poison at query 12)",
+		Columns: []string{"query", "benign", "malicious", "attacker-fraction"},
+	}
+	for _, q := range res.PerQuery {
+		t.AddRow(q.Query, q.Benign, q.Malicious, q.Fraction())
+	}
+	ideal := analysis.ComposePool(12, 24, 4, 89)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("paper: up to 4·11 = 44 benign + 89 malicious (fraction %.3f ≥ 2/3)", ideal.Fraction),
+		fmt.Sprintf("measured: %d benign + %d malicious (fraction %.3f); benign < 44 only through pool-rotation repeats",
+			res.PoolBenign, res.PoolMalicious, res.AttackerFraction),
+		fmt.Sprintf("poisoning mechanism: %s, planted = %v", res.Mechanism, res.PoisonPlanted),
+	)
+	return t, nil
+}
+
+// AttackWindow reproduces the §IV claim that poisoning any of the first 12
+// queries leaves the attacker with ≥ 2/3 of the pool: an analytical sweep
+// over the poisoned query index plus simulated spot checks.
+func AttackWindow(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Attack window — attacker pool fraction vs poisoned query index",
+		Columns: []string{"poison-query", "ideal-benign", "ideal-fraction", ">=2/3", "simulated-fraction"},
+	}
+	simulated := map[int]float64{}
+	for _, q := range []int{1, 6, 12, 13, 18, 24} {
+		s, err := core.NewScenario(core.Config{Seed: seed + int64(q), Mechanism: core.Defrag, PoisonQuery: q})
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		simulated[q] = res.AttackerFraction
+	}
+	for q := 1; q <= 24; q++ {
+		c := analysis.ComposePool(q, 24, 4, 89)
+		sim := "-"
+		if f, ok := simulated[q]; ok {
+			sim = fmt.Sprintf("%.3f", f)
+		}
+		t.AddRow(q, c.Benign, c.Fraction, c.Fraction >= 2.0/3.0, sim)
+	}
+	adv := analysis.CompareOpportunities(0.1, analysis.MaxPoisonQuery(24, 4, 89, 2.0/3.0))
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("paper: success 'until or during the 12th DNS request' keeps ≥ 2/3; computed crossover = query %d",
+			analysis.MaxPoisonQuery(24, 4, 89, 2.0/3.0)),
+		fmt.Sprintf("'even easier than plain NTP': at 10%% per-attempt poisoning success, classic client P=%.2f vs Chronos P=%.2f (%.1f× the opportunities)",
+			adv.Classic, adv.Chronos, adv.Advantage),
+	)
+	return t, nil
+}
+
+// MaxAddresses reproduces the §IV claim "up to 89 [addresses] for a single
+// non-fragmented DNS response", straight from the wire encoder.
+func MaxAddresses() (*Table, error) {
+	rows, err := analysis.RecordCapacityTable(core.PoolName)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E3",
+		Title:   "Forged-response capacity — A records per single non-fragmented response",
+		Columns: []string{"udp-payload", "edns0", "max-A-records"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Payload, r.EDNS, r.Records)
+	}
+	t.Notes = append(t.Notes,
+		"paper: 'up to 89 for a single non-fragmented DNS response' (1500-byte Ethernet MTU, EDNS0)",
+		"benign pool.ntp.org responses carry 4",
+	)
+	return t, nil
+}
+
+// ChronosSecurity reproduces the §III claim that "to shift time on a
+// Chronos NTP client by 100ms a strong MitM attacker would need 20 years
+// of effort", and its collapse once DNS poisoning hands the attacker ≥ 2/3
+// of the pool. Closed form, with a Monte-Carlo cross-check where feasible.
+func ChronosSecurity() (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "Chronos security bound — expected effort to shift a client by 100 ms",
+		Columns: []string{"pool", "malicious", "fraction", "round-win-prob", "consecutive-wins", "expected-effort", "years"},
+	}
+	const (
+		m        = 15
+		d        = 5
+		target   = 100 * time.Millisecond
+		step     = 25 * time.Millisecond
+		interval = time.Hour
+	)
+	cases := []struct{ pool, mal int }{
+		{500, 50},  // 10% MitM
+		{500, 125}, // 25%
+		{500, 166}, // the 1/3 boundary the Chronos proof assumes
+		{133, 67},  // half
+		{133, 89},  // the paper's poisoned pool (≥ 2/3)
+	}
+	for _, c := range cases {
+		st, err := analysis.YearsToShift(c.pool, c.mal, m, d, target, step, interval)
+		if err != nil {
+			return nil, err
+		}
+		// time.Duration saturates near 292 years; switch to years there.
+		effort := st.Expected.String()
+		if math.IsInf(st.Years, 1) {
+			effort = "never"
+		} else if st.Years > 250 {
+			effort = fmt.Sprintf("%.3g years", st.Years)
+		}
+		years := fmt.Sprintf("%.3g", st.Years)
+		t.AddRow(c.pool, c.mal, float64(c.mal)/float64(c.pool), fmt.Sprintf("%.3g", st.WinProb), st.ConsecutiveWins, effort, years)
+	}
+	// Monte-Carlo cross-check in the fast (poisoned) regime.
+	rng := rand.New(rand.NewSource(11))
+	mc := analysis.SimulateRoundsToShift(rng, 133, 89, m, d, 4, 300)
+	cf, err := analysis.YearsToShift(133, 89, m, d, target, step, interval)
+	if err != nil {
+		return nil, err
+	}
+	t.Notes = append(t.Notes,
+		"paper (§III, citing Chronos NDSS'18): 'to shift time ... by 100ms a strong MitM attacker would need 20 years of effort'",
+		fmt.Sprintf("measured at the 1/3 boundary: see row 3 — years ≥ 20 reproduces the claim's order of magnitude"),
+		fmt.Sprintf("poisoned pool (89/133): %.1f expected rounds ≈ %.1f hours — the guarantee collapses", cf.ExpectedRounds, cf.ExpectedRounds),
+		fmt.Sprintf("monte-carlo cross-check (poisoned): %.1f rounds vs closed form %.1f", mc, cf.ExpectedRounds),
+	)
+	return t, nil
+}
+
+// TimeShift reproduces the end-to-end contrast: the clock error reached on
+// a Chronos client with an honest pool, a Chronos client with the poisoned
+// pool, and a classic ≤4-server NTP client bootstrapped from the poisoned
+// resolver.
+func TimeShift(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "End-to-end time shift after a 2 h attack phase (adaptive below-threshold strategy)",
+		Columns: []string{"client", "pool", "final-offset", "max-offset"},
+	}
+	honest, err := core.NewScenario(core.Config{Seed: seed, SyncDuration: 2 * time.Hour})
+	if err != nil {
+		return nil, err
+	}
+	hres, err := honest.Run()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("chronos", "honest (96 benign)", hres.ChronosOffset.String(), hres.ChronosMaxOffset.String())
+
+	poisoned, err := core.NewScenario(core.Config{
+		Seed: seed + 1, Mechanism: core.Defrag, PoisonQuery: 12,
+		SyncDuration: 2 * time.Hour, RunPlainNTP: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pres, err := poisoned.Run()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("chronos", "poisoned (44 benign + 89 malicious)", pres.ChronosOffset.String(), pres.ChronosMaxOffset.String())
+	t.AddRow("classic ntp (4 servers)", "poisoned (same resolver)", pres.PlainOffset.String(), "-")
+	t.Notes = append(t.Notes,
+		"paper: with ≥ 2/3 of the pool the attacker defeats both the normal path and panic mode; plain NTP falls with a single poisoning",
+		fmt.Sprintf("chronos stats (poisoned): updates=%d resamples=%d panics=%d",
+			pres.ChronosStats.Updates, pres.ChronosStats.Resamples, pres.ChronosStats.Panics),
+	)
+	return t, nil
+}
+
+// Mitigations reproduces §V: the 4-address + TTL caps stop the single-shot
+// poisoning, multi-resolver consensus stops a single poisoned resolver,
+// but a persistent (24 h) DNS hijack still defeats everything.
+func Mitigations(seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   "§V mitigations — pool composition under each defence",
+		Columns: []string{"defence", "mechanism", "benign", "malicious", "attacker-fraction"},
+	}
+	type runCase struct {
+		name string
+		cfg  core.Config
+	}
+	cases := []runCase{
+		{"none (vulnerable)", core.Config{Seed: seed, Mechanism: core.Defrag, PoisonQuery: 12}},
+		{"resolver: ≤4 addrs, TTL ≤24h", core.Config{
+			Seed: seed + 1, Mechanism: core.Defrag, PoisonQuery: 12,
+			ResolverPolicy: mitigation.PaperResolverPolicy(),
+		}},
+		{"client: ≤4 addrs, TTL ≤24h", core.Config{
+			Seed: seed + 2, Mechanism: core.Defrag, PoisonQuery: 12,
+			ClientPolicy: mitigation.PaperClientPolicy(),
+		}},
+		{"consensus (3 resolvers)", core.Config{
+			Seed: seed + 3, Mechanism: core.Defrag, PoisonQuery: 12, Consensus: 3,
+		}},
+		{"all of the above", core.Config{
+			Seed: seed + 4, Mechanism: core.BGPHijackPersistent, PoisonQuery: 1,
+			MaliciousServers: 120,
+			ResolverPolicy:   mitigation.PaperResolverPolicy(),
+			ClientPolicy:     mitigation.PaperClientPolicy(),
+		}},
+	}
+	for _, c := range cases {
+		s, err := core.NewScenario(c.cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(c.name, res.Mechanism.String(), res.PoolBenign, res.PoolMalicious, res.AttackerFraction)
+	}
+	t.Notes = append(t.Notes,
+		"paper §V: capping addresses and TTLs 'can be improved to limit the impact' ...",
+		"... 'however, even with these mitigations, the dependency on the insecure DNS still remains' — the 24 h hijack row",
+	)
+	return t, nil
+}
+
+// All runs every experiment (E5, the measurement study, lives in
+// fragstudy.go).
+func All(seed int64) ([]*Table, error) {
+	var out []*Table
+	steps := []func() (*Table, error){
+		func() (*Table, error) { return Figure1(seed) },
+		func() (*Table, error) { return AttackWindow(seed) },
+		MaxAddresses,
+		ChronosSecurity,
+		func() (*Table, error) { return FragmentationStudy(seed) },
+		func() (*Table, error) { return TimeShift(seed) },
+		func() (*Table, error) { return Mitigations(seed) },
+		func() (*Table, error) { return Ablations(seed) },
+	}
+	for _, step := range steps {
+		tbl, err := step()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}

@@ -1,0 +1,385 @@
+// Package ipfrag models IPv4 fragmentation and reassembly.
+//
+// It implements the two pieces the defragmentation-poisoning attack of
+// Herzberg & Shulman ("Fragmentation Considered Poisonous", CNS 2013) —
+// which this paper reuses against Chronos' DNS-based pool generation —
+// depends on:
+//
+//   - Split: fragmenting a transport payload at a path MTU, producing
+//     fragments identified by the 16-bit IP Identification field;
+//   - Reassembler: the receiver-side fragment cache, keyed by
+//     (src, dst, protocol, ID), which will happily combine a genuine first
+//     fragment with a *pre-planted spoofed* second fragment carrying the
+//     same key.
+//
+// Overlapping fragments are resolved by a configurable policy (first-wins
+// like classic BSD, or last-wins like Linux), because the attack literature
+// distinguishes operating systems by exactly this behaviour.
+package ipfrag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// FragmentUnit is the granularity of IPv4 fragment offsets: offsets are
+// expressed in units of 8 bytes on the wire.
+const FragmentUnit = 8
+
+// IPHeaderSize is the size of an IPv4 header without options; a link MTU of
+// M leaves M − IPHeaderSize bytes for each fragment's payload.
+const IPHeaderSize = 20
+
+// MinMTU is the minimum IPv4 MTU (RFC 791). The original fragmentation
+// attacks against NTP required paths supporting fragmentation down to this
+// value; the paper's measurement study probes resolvers at this size.
+const MinMTU = 68
+
+// Errors returned by Split and Reassembler.
+var (
+	ErrMTUTooSmall   = errors.New("ipfrag: mtu leaves no room for payload")
+	ErrBadAlignment  = errors.New("ipfrag: non-final fragment not a multiple of 8 bytes")
+	ErrTooManyFrags  = errors.New("ipfrag: fragment count exceeds limit")
+	ErrDatagramLimit = errors.New("ipfrag: reassembled datagram exceeds 65535 bytes")
+)
+
+// maxDatagram is the largest reassembled datagram IPv4 permits.
+const maxDatagram = 65535
+
+// FlowKey identifies a datagram being reassembled: IPv4 reassembly caches
+// are keyed by source, destination, protocol and the 16-bit Identification
+// field — nothing else. This weak identity is precisely what fragment
+// injection exploits.
+type FlowKey struct {
+	Src   [4]byte
+	Dst   [4]byte
+	Proto uint8
+	ID    uint16
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d>%d.%d.%d.%d/p%d#%d",
+		k.Src[0], k.Src[1], k.Src[2], k.Src[3],
+		k.Dst[0], k.Dst[1], k.Dst[2], k.Dst[3], k.Proto, k.ID)
+}
+
+// Fragment is one IPv4 fragment of a transport-layer payload.
+type Fragment struct {
+	Key    FlowKey
+	Offset int    // byte offset of Data within the original payload; multiple of 8
+	More   bool   // the MF (more fragments) flag
+	Data   []byte // fragment payload bytes
+}
+
+// IsWhole reports whether the fragment is actually an unfragmented datagram
+// (offset zero, MF clear).
+func (f Fragment) IsWhole() bool { return f.Offset == 0 && !f.More }
+
+// Split fragments payload so that each fragment's payload fits in
+// mtu − IPHeaderSize bytes, rounding non-final fragment sizes down to a
+// multiple of 8 as IPv4 requires. A payload that already fits is returned
+// as a single fragment with MF clear.
+func Split(key FlowKey, payload []byte, mtu int) ([]Fragment, error) {
+	room := mtu - IPHeaderSize
+	if room < FragmentUnit {
+		return nil, fmt.Errorf("%w: mtu=%d", ErrMTUTooSmall, mtu)
+	}
+	if len(payload) > maxDatagram {
+		return nil, ErrDatagramLimit
+	}
+	if len(payload) <= room {
+		return []Fragment{{Key: key, Offset: 0, More: false, Data: clone(payload)}}, nil
+	}
+	chunk := room - room%FragmentUnit
+	frags := make([]Fragment, 0, len(payload)/chunk+1)
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		more := true
+		if end >= len(payload) {
+			end = len(payload)
+			more = false
+		}
+		frags = append(frags, Fragment{
+			Key:    key,
+			Offset: off,
+			More:   more,
+			Data:   clone(payload[off:end]),
+		})
+	}
+	return frags, nil
+}
+
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// OverlapPolicy selects how a reassembler resolves bytes claimed by more
+// than one fragment.
+type OverlapPolicy int
+
+const (
+	// FirstWins keeps the bytes of the fragment that arrived first
+	// (classic BSD reassembly). A pre-planted spoofed fragment therefore
+	// beats the genuine one.
+	FirstWins OverlapPolicy = iota + 1
+	// LastWins lets later fragments overwrite earlier bytes (Linux-style).
+	LastWins
+)
+
+// String implements fmt.Stringer.
+func (p OverlapPolicy) String() string {
+	switch p {
+	case FirstWins:
+		return "first-wins"
+	case LastWins:
+		return "last-wins"
+	default:
+		return fmt.Sprintf("OverlapPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterises a Reassembler.
+type Config struct {
+	Policy       OverlapPolicy // zero value defaults to FirstWins
+	Timeout      time.Duration // fragment lifetime; zero defaults to 30s (RFC 791 suggests 15-30s)
+	MaxDatagrams int           // max concurrent partial datagrams; zero defaults to 64
+	MaxFragments int           // max fragments per datagram; zero defaults to 64
+
+	// MinFragment drops non-final fragments whose payload is smaller
+	// than this (0 accepts everything). It models stacks and middleboxes
+	// that reject tiny fragments: the paper's measurement study found
+	// 90 % of resolvers accept fragments of some size but only 64 %
+	// accept the minimum-MTU (68-byte) fragments this field filters.
+	MinFragment int
+
+	// DropFragments rejects all fragmented traffic (the ~10 % of
+	// resolvers that accept no fragments at all).
+	DropFragments bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == 0 {
+		c.Policy = FirstWins
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxDatagrams == 0 {
+		c.MaxDatagrams = 64
+	}
+	if c.MaxFragments == 0 {
+		c.MaxFragments = 64
+	}
+	return c
+}
+
+// span is a half-open covered byte range [lo, hi).
+type span struct{ lo, hi int }
+
+type partial struct {
+	buf      []byte
+	covered  []span
+	total    int // total length, -1 until the final fragment is seen
+	frags    int
+	firstAt  time.Time
+	arrivals int
+}
+
+// Reassembler is a receiver-side IPv4 fragment cache.
+//
+// Insert returns the reassembled payload once every byte of the datagram is
+// covered and the total length is known. Reassembly deliberately performs
+// no authenticity check beyond the FlowKey — that is the real protocol's
+// (absent) security model and the attack surface under study.
+type Reassembler struct {
+	cfg      Config
+	pending  map[FlowKey]*partial
+	evicting []FlowKey // scratch, reused across Evict calls
+}
+
+// NewReassembler returns a Reassembler with the given configuration.
+func NewReassembler(cfg Config) *Reassembler {
+	return &Reassembler{
+		cfg:     cfg.withDefaults(),
+		pending: make(map[FlowKey]*partial),
+	}
+}
+
+// Pending reports the number of partially reassembled datagrams held.
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// Insert adds a fragment observed at time now. It returns (payload, true)
+// when the fragment completes a datagram; the cache entry is then removed.
+// Whole (unfragmented) datagrams pass straight through.
+func (r *Reassembler) Insert(now time.Time, f Fragment) ([]byte, bool) {
+	if f.IsWhole() {
+		return f.Data, true
+	}
+	if r.cfg.DropFragments {
+		return nil, false
+	}
+	if f.More && len(f.Data)%FragmentUnit != 0 {
+		return nil, false // malformed: silently dropped, like real stacks
+	}
+	if r.cfg.MinFragment > 0 && f.More && len(f.Data) < r.cfg.MinFragment {
+		return nil, false
+	}
+	if f.Offset < 0 || f.Offset%FragmentUnit != 0 || f.Offset+len(f.Data) > maxDatagram {
+		return nil, false
+	}
+	r.Evict(now)
+	p, ok := r.pending[f.Key]
+	if !ok {
+		if len(r.pending) >= r.cfg.MaxDatagrams {
+			return nil, false // cache full: drop, do not evict live entries
+		}
+		p = &partial{buf: make([]byte, 0, 2048), total: -1, firstAt: now}
+		r.pending[f.Key] = p
+	}
+	if p.frags >= r.cfg.MaxFragments {
+		return nil, false
+	}
+	p.frags++
+	p.arrivals++
+
+	end := f.Offset + len(f.Data)
+	if !f.More {
+		if p.total >= 0 && p.total != end {
+			// Conflicting total length: keep the policy-preferred one.
+			if r.cfg.Policy == LastWins {
+				p.total = end
+			}
+		} else {
+			p.total = end
+		}
+	}
+	if end > len(p.buf) {
+		p.buf = append(p.buf, make([]byte, end-len(p.buf))...)
+	}
+	r.write(p, f.Offset, f.Data)
+
+	if p.total >= 0 && coversAll(p.covered, p.total) {
+		out := clone(p.buf[:p.total])
+		delete(r.pending, f.Key)
+		return out, true
+	}
+	return nil, false
+}
+
+// write copies data into the buffer respecting the overlap policy and
+// updates the coverage spans.
+func (r *Reassembler) write(p *partial, off int, data []byte) {
+	lo, hi := off, off+len(data)
+	if r.cfg.Policy == LastWins {
+		copy(p.buf[lo:hi], data)
+	} else {
+		// FirstWins: only fill bytes not yet covered.
+		for _, gap := range gaps(p.covered, lo, hi) {
+			copy(p.buf[gap.lo:gap.hi], data[gap.lo-lo:gap.hi-lo])
+		}
+	}
+	p.covered = mergeSpan(p.covered, span{lo, hi})
+}
+
+// Evict drops partial datagrams older than the configured timeout.
+func (r *Reassembler) Evict(now time.Time) {
+	r.evicting = r.evicting[:0]
+	for k, p := range r.pending {
+		if now.Sub(p.firstAt) > r.cfg.Timeout {
+			r.evicting = append(r.evicting, k)
+		}
+	}
+	for _, k := range r.evicting {
+		delete(r.pending, k)
+	}
+}
+
+// Flush removes the partial datagram for key, reporting whether one existed.
+func (r *Reassembler) Flush(key FlowKey) bool {
+	_, ok := r.pending[key]
+	delete(r.pending, key)
+	return ok
+}
+
+// HasPending reports whether a partial datagram exists for key — used by
+// attack code to confirm a spoofed fragment was planted.
+func (r *Reassembler) HasPending(key FlowKey) bool {
+	_, ok := r.pending[key]
+	return ok
+}
+
+// mergeSpan inserts s into sorted disjoint spans, coalescing neighbours.
+func mergeSpan(spans []span, s span) []span {
+	out := make([]span, 0, len(spans)+1)
+	inserted := false
+	for _, cur := range spans {
+		switch {
+		case cur.hi < s.lo:
+			out = append(out, cur)
+		case s.hi < cur.lo:
+			if !inserted {
+				out = append(out, s)
+				inserted = true
+			}
+			out = append(out, cur)
+		default: // overlap or adjacency: absorb
+			if cur.lo < s.lo {
+				s.lo = cur.lo
+			}
+			if cur.hi > s.hi {
+				s.hi = cur.hi
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].lo < out[j].lo })
+	return out
+}
+
+// gaps returns the sub-ranges of [lo, hi) not covered by spans.
+func gaps(spans []span, lo, hi int) []span {
+	var out []span
+	cur := lo
+	for _, s := range spans {
+		if s.hi <= cur {
+			continue
+		}
+		if s.lo >= hi {
+			break
+		}
+		if s.lo > cur {
+			out = append(out, span{cur, min(s.lo, hi)})
+		}
+		if s.hi > cur {
+			cur = s.hi
+		}
+		if cur >= hi {
+			return out
+		}
+	}
+	if cur < hi {
+		out = append(out, span{cur, hi})
+	}
+	return out
+}
+
+func coversAll(spans []span, total int) bool {
+	if total == 0 {
+		return true
+	}
+	return len(spans) == 1 && spans[0].lo <= 0 && spans[0].hi >= total
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

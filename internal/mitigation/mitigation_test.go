@@ -1,0 +1,222 @@
+package mitigation
+
+import (
+	"testing"
+	"time"
+
+	"chronosntp/internal/attack"
+	"chronosntp/internal/dnsresolver"
+	"chronosntp/internal/dnsserver"
+	"chronosntp/internal/dnswire"
+	"chronosntp/internal/simnet"
+)
+
+var (
+	rootIP     = simnet.IPv4(198, 41, 0, 4)
+	ntpOrgIP   = simnet.IPv4(198, 51, 100, 10)
+	clientIP   = simnet.IPv4(10, 0, 0, 1)
+	attackerIP = simnet.IPv4(66, 66, 0, 1)
+)
+
+func TestPaperPolicies(t *testing.T) {
+	rp := PaperResolverPolicy()
+	if rp.MaxAnswerRecords != 4 || rp.MaxTTL != 24*time.Hour {
+		t.Errorf("resolver policy: %+v", rp)
+	}
+	cp := PaperClientPolicy()
+	if cp.MaxAddrsPerResponse != 4 || cp.MaxTTL != 24*time.Hour {
+		t.Errorf("client policy: %+v", cp)
+	}
+	// The forged 89-record, 7-day-TTL response trips both policies.
+	forge := &attack.ResponseForge{PoolName: "pool.ntp.org", Servers: make([]simnet.IP, 89)}
+	q := dnswire.NewQuery(1, "pool.ntp.org", dnswire.TypeA)
+	q.SetEDNS(4096)
+	resp, err := forge.Response(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rp.Violates(resp) {
+		t.Error("resolver policy did not flag the forged response")
+	}
+	// A benign pool response passes.
+	benign := q.Reply()
+	for i := 0; i < 4; i++ {
+		benign.Answers = append(benign.Answers, dnswire.ARecord("pool.ntp.org", 150, [4]byte{1, 2, 3, byte(i)}))
+	}
+	if rp.Violates(benign) {
+		t.Error("resolver policy flagged a benign response")
+	}
+}
+
+// consensusRig builds n independent resolvers, each with its own path to
+// the same hierarchy, plus per-resolver stubs on the client host.
+func consensusRig(t *testing.T, seed int64, resolvers int) (*simnet.Network, []*dnsresolver.Resolver, []*dnsresolver.Stub) {
+	t.Helper()
+	n := simnet.New(simnet.Config{Seed: seed})
+
+	rootHost, _ := n.AddHost(rootIP)
+	rootSrv, _ := dnsserver.New(rootHost)
+	rootZone := dnsserver.NewDelegatingZone("")
+	rootZone.Delegate(dnsserver.Delegation{
+		Child: "ntp.org", NSTTL: 3600,
+		Glue: []dnsserver.NSGlue{{Name: "ns1.ntp.org", IP: ntpOrgIP, TTL: 3600}},
+	})
+	_ = rootSrv.AddZone("", rootZone)
+
+	ntpHost, _ := n.AddHost(ntpOrgIP)
+	ntpSrv, _ := dnsserver.New(ntpHost)
+	benign := make([]simnet.IP, 100)
+	for i := range benign {
+		benign[i] = simnet.IPv4(203, 0, byte(i/100), byte(i%100+1))
+	}
+	pool, err := dnsserver.NewPoolZone(dnsserver.PoolConfig{Name: "pool.ntp.org"}, n.Now(), benign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ntpSrv.AddZone("pool.ntp.org", pool)
+
+	clientHost, _ := n.AddHost(clientIP)
+	var rs []*dnsresolver.Resolver
+	var stubs []*dnsresolver.Stub
+	for i := 0; i < resolvers; i++ {
+		rh, _ := n.AddHost(simnet.IPv4(10, 0, 1, byte(i+1)))
+		r, err := dnsresolver.New(rh, dnsresolver.Config{EDNSSize: 4096}, []dnsresolver.Hint{
+			{Zone: "", Addr: simnet.Addr{IP: rootIP, Port: 53}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs = append(rs, r)
+		stubs = append(stubs, dnsresolver.NewStub(clientHost, r.Addr(), 0))
+	}
+	return n, rs, stubs
+}
+
+func TestConsensusAgreesOnHonestAnswers(t *testing.T) {
+	// All resolvers honest and querying inside the same rotation window:
+	// full agreement.
+	n, _, stubs := consensusRig(t, 131, 3)
+	cs := NewConsensusStub(stubs, 0)
+	if cs.Quorum() != 2 {
+		t.Fatalf("quorum = %d, want 2", cs.Quorum())
+	}
+	var got dnsresolver.Result
+	cs.Lookup("pool.ntp.org", dnswire.TypeA, func(r dnsresolver.Result) { got = r })
+	n.RunFor(30 * time.Second)
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	if len(got.RRs) != 4 {
+		t.Errorf("consensus records = %d, want 4", len(got.RRs))
+	}
+	if len(cs.Resolvers()) != 3 {
+		t.Error("Resolvers() size wrong")
+	}
+}
+
+func TestConsensusDefeatsSinglePoisonedResolver(t *testing.T) {
+	// Poison resolver 0 via a direct cache implant (standing in for any
+	// of the poisoning mechanisms — their end state is identical), then
+	// ask the consensus stub: the forged records lack quorum and are
+	// suppressed; the honest majority's answer survives.
+	n, rs, stubs := consensusRig(t, 132, 3)
+	forged := make([]dnswire.RR, 0, 89)
+	for i := 0; i < 89; i++ {
+		forged = append(forged, dnswire.ARecord("pool.ntp.org", 7*86400, [4]byte{66, 0, byte(i / 250), byte(i%250 + 1)}))
+	}
+	rs[0].Cache().Put(n.Now(), "pool.ntp.org", dnswire.TypeA, forged)
+
+	cs := NewConsensusStub(stubs, 0)
+	var got dnsresolver.Result
+	cs.Lookup("pool.ntp.org", dnswire.TypeA, func(r dnsresolver.Result) { got = r })
+	n.RunFor(30 * time.Second)
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	for _, rr := range got.RRs {
+		if rr.A[0] == 66 {
+			t.Fatalf("forged record %v survived consensus", rr.A)
+		}
+	}
+	if cs.Suppressed == 0 {
+		t.Error("no suppressed records counted")
+	}
+}
+
+func TestConsensusMajorityPoisonedStillLoses(t *testing.T) {
+	// If the attacker controls a majority of the resolvers, consensus is
+	// no defence — the residual weakness the paper's conclusion warns
+	// about (full DNS hijack).
+	n, rs, stubs := consensusRig(t, 133, 3)
+	forged := make([]dnswire.RR, 0, 10)
+	for i := 0; i < 10; i++ {
+		forged = append(forged, dnswire.ARecord("pool.ntp.org", 7*86400, [4]byte{66, 0, 0, byte(i + 1)}))
+	}
+	rs[0].Cache().Put(n.Now(), "pool.ntp.org", dnswire.TypeA, forged)
+	rs[1].Cache().Put(n.Now(), "pool.ntp.org", dnswire.TypeA, forged)
+
+	cs := NewConsensusStub(stubs, 0)
+	var got dnsresolver.Result
+	cs.Lookup("pool.ntp.org", dnswire.TypeA, func(r dnsresolver.Result) { got = r })
+	n.RunFor(30 * time.Second)
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	evil := 0
+	for _, rr := range got.RRs {
+		if rr.A[0] == 66 {
+			evil++
+		}
+	}
+	if evil != 10 {
+		t.Errorf("forged records through majority consensus = %d, want 10", evil)
+	}
+}
+
+func TestConsensusTTLFloored(t *testing.T) {
+	n, rs, stubs := consensusRig(t, 134, 2)
+	// Both resolvers agree on an address but one reports a huge TTL.
+	rr1 := dnswire.ARecord("pool.ntp.org", 7*86400, [4]byte{203, 0, 0, 1})
+	rr2 := dnswire.ARecord("pool.ntp.org", 150, [4]byte{203, 0, 0, 1})
+	rs[0].Cache().Put(n.Now(), "pool.ntp.org", dnswire.TypeA, []dnswire.RR{rr1})
+	rs[1].Cache().Put(n.Now(), "pool.ntp.org", dnswire.TypeA, []dnswire.RR{rr2})
+	cs := NewConsensusStub(stubs, 2)
+	var got dnsresolver.Result
+	cs.Lookup("pool.ntp.org", dnswire.TypeA, func(r dnsresolver.Result) { got = r })
+	n.RunFor(10 * time.Second)
+	if got.Err != nil || len(got.RRs) != 1 {
+		t.Fatalf("consensus: %+v", got)
+	}
+	if got.RRs[0].TTL > 150 {
+		t.Errorf("TTL = %d, want floored to 150", got.RRs[0].TTL)
+	}
+}
+
+func TestConsensusNoStubs(t *testing.T) {
+	cs := NewConsensusStub(nil, 0)
+	var got dnsresolver.Result
+	cs.Lookup("pool.ntp.org", dnswire.TypeA, func(r dnsresolver.Result) { got = r })
+	if got.Err == nil {
+		t.Error("empty consensus should fail")
+	}
+}
+
+func TestConsensusAllFail(t *testing.T) {
+	// Stubs pointing at resolvers that do not exist: consensus reports
+	// the failure.
+	n := simnet.New(simnet.Config{Seed: 135})
+	ch, _ := n.AddHost(clientIP)
+	stubs := []*dnsresolver.Stub{
+		dnsresolver.NewStub(ch, simnet.Addr{IP: simnet.IPv4(10, 9, 9, 1), Port: 53}, time.Second),
+		dnsresolver.NewStub(ch, simnet.Addr{IP: simnet.IPv4(10, 9, 9, 2), Port: 53}, time.Second),
+	}
+	cs := NewConsensusStub(stubs, 0)
+	var got dnsresolver.Result
+	gotSet := false
+	cs.Lookup("pool.ntp.org", dnswire.TypeA, func(r dnsresolver.Result) { got, gotSet = r, true })
+	n.RunFor(time.Minute)
+	if !gotSet || got.Err == nil {
+		t.Error("all-fail consensus should report an error")
+	}
+	_ = attackerIP
+}

@@ -1,0 +1,482 @@
+// Package ntpclient implements a classic RFC 5905 NTP client — the
+// baseline the paper compares Chronos against ("traditional NTP which
+// queries few (typically up to 4) NTP servers").
+//
+// The pipeline follows the reference architecture:
+//
+//	poll → clock filter (8-stage, minimum-delay sample)
+//	     → selection (the intersection algorithm: find the largest clique
+//	       of correctness intervals, discarding "falsetickers")
+//	     → clustering (discard outliers by selection jitter)
+//	     → combining (weighted average)
+//	     → discipline (slew below the 128 ms step threshold, step above
+//	       it, reject beyond the 1000 s panic threshold)
+//
+// Two behaviours matter for the paper's contrast with Chronos:
+//
+//   - the server list is resolved over DNS once at startup, so a DNS
+//     attacker gets exactly one poisoning opportunity, and
+//   - at most MaxServers (4) servers are used, so a successful poisoning
+//     controls the entire server set but never more than 4 addresses.
+package ntpclient
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"chronosntp/internal/clock"
+	"chronosntp/internal/dnsresolver"
+	"chronosntp/internal/ntpwire"
+	"chronosntp/internal/simnet"
+)
+
+// Errors reported by the client.
+var (
+	ErrNoServers  = errors.New("ntpclient: no servers resolved")
+	ErrNotStarted = errors.New("ntpclient: not started")
+)
+
+// Config parameterises a Client.
+type Config struct {
+	PoolName       string        // DNS name resolved once at startup (e.g. "pool.ntp.org")
+	ServerIPs      []simnet.IP   // static server list; used when PoolName is empty
+	MaxServers     int           // cap on associations; default 4
+	PollInterval   time.Duration // default 64s
+	StepThreshold  time.Duration // default 128ms
+	PanicThreshold time.Duration // offsets beyond are discarded; default 1000s
+	MinSurvivors   int           // minimum cluster survivors to sync; default 1
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxServers == 0 {
+		c.MaxServers = 4
+	}
+	if c.PollInterval == 0 {
+		c.PollInterval = 64 * time.Second
+	}
+	if c.StepThreshold == 0 {
+		c.StepThreshold = 128 * time.Millisecond
+	}
+	if c.PanicThreshold == 0 {
+		c.PanicThreshold = 1000 * time.Second
+	}
+	if c.MinSurvivors == 0 {
+		c.MinSurvivors = 1
+	}
+	return c
+}
+
+// Stats counts client activity.
+type Stats struct {
+	Polls        uint64
+	Responses    uint64
+	Syncs        uint64
+	Steps        uint64
+	Slews        uint64
+	PanicRejects uint64
+	NoConsensus  uint64
+}
+
+// filterSample is one clock-filter stage.
+type filterSample struct {
+	offset time.Duration
+	delay  time.Duration
+	at     time.Time
+}
+
+// association tracks one server peer.
+type association struct {
+	addr    simnet.Addr
+	port    uint16
+	filter  []filterSample // most recent last, max 8
+	reach   uint8
+	sentT1  time.Time // local clock at last request (origin check)
+	trueT1  time.Time // true time at last request
+	pending bool
+}
+
+// candidate is the clock-filtered view of one association handed to the
+// selection algorithm.
+type candidate struct {
+	assoc  *association
+	offset time.Duration
+	rdist  time.Duration // root distance λ = delay/2 + dispersion floor
+}
+
+// Client is a classic NTP client bound to a simulated host.
+type Client struct {
+	host    *simnet.Host
+	clk     *clock.Clock
+	stub    *dnsresolver.Stub
+	cfg     Config
+	assocs  []*association
+	stats   Stats
+	started bool
+	stopped bool
+	timer   *simnet.Timer
+}
+
+// New builds a client. stub may be nil when cfg.ServerIPs is used.
+func New(host *simnet.Host, clk *clock.Clock, stub *dnsresolver.Stub, cfg Config) *Client {
+	return &Client{host: host, clk: clk, stub: stub, cfg: cfg.withDefaults()}
+}
+
+// Clock returns the disciplined clock.
+func (c *Client) Clock() *clock.Clock { return c.clk }
+
+// Stats returns an activity snapshot.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Servers returns the addresses of the active associations.
+func (c *Client) Servers() []simnet.Addr {
+	out := make([]simnet.Addr, len(c.assocs))
+	for i, a := range c.assocs {
+		out[i] = a.addr
+	}
+	return out
+}
+
+// Start resolves the server list (once — the classic behaviour) and begins
+// the poll loop. The callback, if non-nil, fires after startup completes
+// or fails.
+func (c *Client) Start(done func(err error)) {
+	if c.started {
+		if done != nil {
+			done(errors.New("ntpclient: already started"))
+		}
+		return
+	}
+	c.started = true
+	finish := func(ips []simnet.IP, err error) {
+		if err == nil && len(ips) == 0 {
+			err = ErrNoServers
+		}
+		if err != nil {
+			if done != nil {
+				done(err)
+			}
+			return
+		}
+		if len(ips) > c.cfg.MaxServers {
+			ips = ips[:c.cfg.MaxServers]
+		}
+		for _, ip := range ips {
+			c.assocs = append(c.assocs, &association{
+				addr: simnet.Addr{IP: ip, Port: ntpwire.Port},
+			})
+		}
+		c.schedulePoll(0)
+		if done != nil {
+			done(nil)
+		}
+	}
+	if c.cfg.PoolName == "" {
+		finish(c.cfg.ServerIPs, nil)
+		return
+	}
+	if c.stub == nil {
+		finish(nil, errors.New("ntpclient: pool name set but no DNS stub"))
+		return
+	}
+	c.stub.LookupA(c.cfg.PoolName, finish)
+}
+
+// Stop halts the poll loop and releases ports.
+func (c *Client) Stop() {
+	c.stopped = true
+	if c.timer != nil {
+		c.timer.Cancel()
+	}
+	for _, a := range c.assocs {
+		if a.port != 0 {
+			c.host.Close(a.port)
+			a.port = 0
+		}
+	}
+}
+
+func (c *Client) schedulePoll(d time.Duration) {
+	if c.stopped {
+		return
+	}
+	c.timer = c.host.Net().After(d, c.poll)
+}
+
+// poll sends one request to every association, then processes responses
+// shortly afterwards.
+func (c *Client) poll() {
+	if c.stopped {
+		return
+	}
+	net := c.host.Net()
+	for _, a := range c.assocs {
+		c.sendRequest(a)
+	}
+	c.stats.Polls++
+	// Give responses one second of simulated time, then run selection.
+	net.After(time.Second, c.process)
+	c.schedulePoll(c.cfg.PollInterval)
+}
+
+func (c *Client) sendRequest(a *association) {
+	if a.port == 0 {
+		a.port = c.host.EphemeralPort()
+		if err := c.host.Listen(a.port, c.responseHandler(a)); err != nil {
+			return
+		}
+	}
+	now := c.host.Net().Now()
+	a.trueT1 = now
+	a.sentT1 = c.clk.Now(now)
+	a.pending = true
+	a.reach <<= 1
+	req := ntpwire.NewClientPacket(a.sentT1)
+	_ = c.host.SendUDP(a.port, a.addr, req.Encode())
+}
+
+// responseHandler validates and files one server response.
+func (c *Client) responseHandler(a *association) simnet.Handler {
+	return func(now time.Time, meta simnet.Meta, payload []byte) {
+		if meta.From != a.addr || !a.pending {
+			return
+		}
+		resp, err := ntpwire.Decode(payload)
+		if err != nil || resp.Mode != ntpwire.ModeServer || resp.Stratum == 0 {
+			return
+		}
+		// Origin check: the response must echo our transmit timestamp
+		// (defeats blind off-path spoofing of NTP itself).
+		if resp.OriginTime != ntpwire.TimestampFromTime(a.sentT1) {
+			return
+		}
+		a.pending = false
+		a.reach |= 1
+		c.stats.Responses++
+
+		t4 := c.clk.Now(now)
+		offset, delay := ntpwire.OffsetDelay(a.sentT1, resp.ReceiveTime.Time(), resp.TransmitTime.Time(), t4)
+		a.filter = append(a.filter, filterSample{offset: offset, delay: delay, at: now})
+		if len(a.filter) > 8 {
+			a.filter = a.filter[len(a.filter)-8:]
+		}
+	}
+}
+
+// clockFilter returns the minimum-delay sample of the association's filter
+// (the RFC 5905 clock-filter output).
+func (a *association) clockFilter() (filterSample, bool) {
+	if len(a.filter) == 0 {
+		return filterSample{}, false
+	}
+	best := a.filter[0]
+	for _, s := range a.filter[1:] {
+		if s.delay < best.delay {
+			best = s
+		}
+	}
+	return best, true
+}
+
+// process runs selection → cluster → combine → discipline.
+func (c *Client) process() {
+	if c.stopped {
+		return
+	}
+	var cands []candidate
+	for _, a := range c.assocs {
+		if a.reach == 0 {
+			continue
+		}
+		s, ok := a.clockFilter()
+		if !ok {
+			continue
+		}
+		rdist := s.delay/2 + 10*time.Millisecond // dispersion floor
+		cands = append(cands, candidate{assoc: a, offset: s.offset, rdist: rdist})
+	}
+	if len(cands) == 0 {
+		c.stats.NoConsensus++
+		return
+	}
+	survivors := intersect(cands)
+	if len(survivors) == 0 {
+		c.stats.NoConsensus++
+		return
+	}
+	survivors = cluster(survivors, 3)
+	if len(survivors) < c.cfg.MinSurvivors {
+		c.stats.NoConsensus++
+		return
+	}
+	offset := combine(survivors)
+	c.apply(offset)
+}
+
+// apply disciplines the local clock with the combined offset.
+func (c *Client) apply(offset time.Duration) {
+	abs := offset
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs > c.cfg.PanicThreshold:
+		c.stats.PanicRejects++
+		return
+	case abs > c.cfg.StepThreshold:
+		c.stats.Steps++
+	default:
+		c.stats.Slews++
+	}
+	now := c.host.Net().Now()
+	c.clk.Step(now, offset)
+	c.stats.Syncs++
+}
+
+// intersect implements the RFC 5905 §11.2.1 selection ("intersection")
+// algorithm: find the largest group of candidates whose correctness
+// intervals [θ−λ, θ+λ] share a point, tolerating up to f < n/2
+// falsetickers. It returns the candidates whose intervals contain the
+// computed intersection.
+func intersect(cands []candidate) []candidate {
+	n := len(cands)
+	type edge struct {
+		value time.Duration
+		typ   int // -1 = lower endpoint, 0 = midpoint, +1 = upper endpoint
+	}
+	edges := make([]edge, 0, 3*n)
+	for _, cd := range cands {
+		edges = append(edges,
+			edge{cd.offset - cd.rdist, -1},
+			edge{cd.offset, 0},
+			edge{cd.offset + cd.rdist, +1},
+		)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].value != edges[j].value {
+			return edges[i].value < edges[j].value
+		}
+		return edges[i].typ < edges[j].typ
+	})
+
+	var low, high time.Duration
+	found := false
+	for allow := 0; 2*allow < n; allow++ {
+		// Scan upward for the low endpoint.
+		chime := 0
+		midsBelow := 0
+		gotLow := false
+		var lo time.Duration
+		for _, e := range edges {
+			switch e.typ {
+			case -1:
+				chime++
+			case 0:
+				midsBelow++
+			case +1:
+				chime--
+			}
+			if chime >= n-allow {
+				lo = e.value
+				gotLow = true
+				break
+			}
+		}
+		// Scan downward for the high endpoint.
+		chime = 0
+		gotHigh := false
+		var hi time.Duration
+		for i := len(edges) - 1; i >= 0; i-- {
+			switch edges[i].typ {
+			case +1:
+				chime++
+			case -1:
+				chime--
+			}
+			if chime >= n-allow {
+				hi = edges[i].value
+				gotHigh = true
+				break
+			}
+		}
+		if gotLow && gotHigh && lo <= hi {
+			low, high, found = lo, hi, true
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	var out []candidate
+	for _, cd := range cands {
+		if cd.offset-cd.rdist <= high && cd.offset+cd.rdist >= low {
+			out = append(out, cd)
+		}
+	}
+	return out
+}
+
+// cluster implements the RFC 5905 §11.2.2 clustering algorithm: repeatedly
+// discard the survivor with the largest selection jitter until at most
+// keep remain or jitter no longer improves.
+func cluster(survivors []candidate, keep int) []candidate {
+	out := append([]candidate(nil), survivors...)
+	for len(out) > keep {
+		// Selection jitter of j: RMS of offset differences to the others.
+		worst, worstJitter := -1, -1.0
+		minRdist := math.MaxFloat64
+		for j := range out {
+			var sum float64
+			for i := range out {
+				if i == j {
+					continue
+				}
+				d := float64(out[j].offset - out[i].offset)
+				sum += d * d
+			}
+			jitter := math.Sqrt(sum / float64(len(out)-1))
+			if jitter > worstJitter {
+				worst, worstJitter = j, jitter
+			}
+			if rd := float64(out[j].rdist); rd < minRdist {
+				minRdist = rd
+			}
+		}
+		// Stop when the worst jitter is already below the best accuracy:
+		// discarding more cannot improve the estimate.
+		if worstJitter <= minRdist {
+			break
+		}
+		out = append(out[:worst], out[worst+1:]...)
+	}
+	return out
+}
+
+// combine implements the RFC 5905 §11.2.3 combine algorithm: a weighted
+// average of survivor offsets with weights 1/λ.
+func combine(survivors []candidate) time.Duration {
+	var num, den float64
+	for _, s := range survivors {
+		w := 1.0 / math.Max(float64(s.rdist), float64(time.Microsecond))
+		num += w * float64(s.offset)
+		den += w
+	}
+	if den == 0 {
+		return 0
+	}
+	return time.Duration(num / den)
+}
+
+// Offset reports the client clock's current error against true time — the
+// measurement every experiment records. (Test/experiment instrumentation;
+// a real client cannot observe this.)
+func (c *Client) Offset() time.Duration {
+	return c.clk.Offset(c.host.Net().Now())
+}
+
+// String implements fmt.Stringer.
+func (c *Client) String() string {
+	return fmt.Sprintf("ntpclient{servers=%d syncs=%d}", len(c.assocs), c.stats.Syncs)
+}

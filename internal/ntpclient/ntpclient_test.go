@@ -1,0 +1,354 @@
+package ntpclient
+
+import (
+	"testing"
+	"time"
+
+	"chronosntp/internal/clock"
+	"chronosntp/internal/dnsresolver"
+	"chronosntp/internal/dnsserver"
+	"chronosntp/internal/ntpserver"
+	"chronosntp/internal/ntpwire"
+	"chronosntp/internal/simnet"
+)
+
+var clientIP = simnet.IPv4(10, 0, 0, 1)
+
+// rig wires a network with an NTP server farm and one client.
+type rig struct {
+	net     *simnet.Network
+	client  *Client
+	servers []*ntpserver.Server
+}
+
+func newRig(t *testing.T, seed int64, honest, malicious int, shift time.Duration, initialErr time.Duration) *rig {
+	t.Helper()
+	n := simnet.New(simnet.Config{Seed: seed})
+	var ips []simnet.IP
+	servers, hips, err := ntpserver.Farm(n, simnet.IPv4(203, 0, 113, 1), honest, time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ips = append(ips, hips...)
+	if malicious > 0 {
+		msrv, mips, err := ntpserver.MaliciousFarm(n, simnet.IPv4(66, 0, 0, 1), malicious, ntpserver.ConstantShift(shift))
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, msrv...)
+		ips = append(ips, mips...)
+	}
+	ch, err := n.AddHost(clientIP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.New(n.Now(), initialErr, 0)
+	cli := New(ch, clk, nil, Config{ServerIPs: ips, MaxServers: len(ips), PollInterval: 16 * time.Second})
+	return &rig{net: n, client: cli, servers: servers}
+}
+
+func start(t *testing.T, r *rig) {
+	t.Helper()
+	var startErr error
+	done := false
+	r.client.Start(func(err error) { startErr, done = err, true })
+	r.net.RunFor(time.Second)
+	if !done {
+		t.Fatal("start never completed")
+	}
+	if startErr != nil {
+		t.Fatal(startErr)
+	}
+}
+
+func TestConvergesWithHonestServers(t *testing.T) {
+	r := newRig(t, 61, 4, 0, 0, 90*time.Millisecond)
+	start(t, r)
+	r.net.RunFor(5 * time.Minute)
+	off := r.client.Offset()
+	if off < -10*time.Millisecond || off > 10*time.Millisecond {
+		t.Errorf("offset after sync = %v, want ~0", off)
+	}
+	if r.client.Stats().Syncs == 0 {
+		t.Error("no syncs recorded")
+	}
+}
+
+func TestStepsOnLargeInitialError(t *testing.T) {
+	r := newRig(t, 62, 4, 0, 0, 2*time.Second)
+	start(t, r)
+	r.net.RunFor(2 * time.Minute)
+	if r.client.Stats().Steps == 0 {
+		t.Error("expected a step for a 2s initial error")
+	}
+	off := r.client.Offset()
+	if off < -10*time.Millisecond || off > 10*time.Millisecond {
+		t.Errorf("offset = %v", off)
+	}
+}
+
+func TestMinorityFalsetickerDiscarded(t *testing.T) {
+	// 3 honest + 1 malicious (10s shift): the intersection algorithm must
+	// keep the client honest.
+	r := newRig(t, 63, 3, 1, 10*time.Second, 0)
+	start(t, r)
+	r.net.RunFor(5 * time.Minute)
+	off := r.client.Offset()
+	if off < -10*time.Millisecond || off > 10*time.Millisecond {
+		t.Errorf("offset with minority falseticker = %v, want ~0", off)
+	}
+}
+
+func TestMajorityAttackShiftsClient(t *testing.T) {
+	// 1 honest + 3 malicious (all agreeing on +10s): classic NTP follows
+	// the majority clique — this is the post-DNS-poisoning situation for
+	// a traditional client.
+	r := newRig(t, 64, 1, 3, 10*time.Second, 0)
+	start(t, r)
+	r.net.RunFor(5 * time.Minute)
+	off := r.client.Offset()
+	if off < 9*time.Second {
+		t.Errorf("offset under majority attack = %v, want ~10s", off)
+	}
+}
+
+func TestPanicThresholdRejectsHugeShift(t *testing.T) {
+	// All servers claim a 2000s shift: beyond the panic threshold, the
+	// client refuses to follow.
+	r := newRig(t, 65, 0, 4, 2000*time.Second, 0)
+	start(t, r)
+	r.net.RunFor(5 * time.Minute)
+	off := r.client.Offset()
+	if off > time.Millisecond || off < -time.Millisecond {
+		t.Errorf("offset = %v, want 0 (panic reject)", off)
+	}
+	if r.client.Stats().PanicRejects == 0 {
+		t.Error("no panic rejects recorded")
+	}
+}
+
+func TestAttackerJustBelowPanicSucceeds(t *testing.T) {
+	// The classic NTP weakness: a shift just below the panic threshold is
+	// accepted (stepped) in a single poll.
+	r := newRig(t, 66, 0, 4, 900*time.Second, 0)
+	start(t, r)
+	r.net.RunFor(2 * time.Minute)
+	off := r.client.Offset()
+	if off < 890*time.Second {
+		t.Errorf("offset = %v, want ~900s", off)
+	}
+}
+
+func TestMaxServersCap(t *testing.T) {
+	n := simnet.New(simnet.Config{Seed: 67})
+	_, ips, err := ntpserver.Farm(n, simnet.IPv4(203, 0, 113, 1), 10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := n.AddHost(clientIP)
+	cli := New(ch, &clock.Clock{}, nil, Config{ServerIPs: ips}) // default MaxServers = 4
+	var done bool
+	cli.Start(func(err error) { done = err == nil })
+	n.RunFor(time.Second)
+	if !done {
+		t.Fatal("start failed")
+	}
+	if got := len(cli.Servers()); got != 4 {
+		t.Errorf("associations = %d, want capped at 4", got)
+	}
+}
+
+func TestNoServersError(t *testing.T) {
+	n := simnet.New(simnet.Config{Seed: 68})
+	ch, _ := n.AddHost(clientIP)
+	cli := New(ch, &clock.Clock{}, nil, Config{})
+	var gotErr error
+	cli.Start(func(err error) { gotErr = err })
+	n.RunFor(time.Second)
+	if gotErr == nil {
+		t.Error("expected ErrNoServers")
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	r := newRig(t, 69, 2, 0, 0, 0)
+	start(t, r)
+	var second error
+	r.client.Start(func(err error) { second = err })
+	r.net.RunFor(time.Second)
+	if second == nil {
+		t.Error("second Start accepted")
+	}
+}
+
+func TestStopHaltsPolling(t *testing.T) {
+	r := newRig(t, 70, 2, 0, 0, 0)
+	start(t, r)
+	r.net.RunFor(30 * time.Second)
+	r.client.Stop()
+	polls := r.client.Stats().Polls
+	r.net.RunFor(5 * time.Minute)
+	if r.client.Stats().Polls != polls {
+		t.Error("polling continued after Stop")
+	}
+}
+
+func TestSpoofedResponseWithoutOriginIgnored(t *testing.T) {
+	// An off-path attacker spoofing the server address but not knowing
+	// the client's transmit timestamp cannot inject time.
+	r := newRig(t, 71, 1, 0, 0, 0)
+	start(t, r)
+	r.net.RunFor(time.Second)
+	serverAddr := r.client.Servers()[0]
+
+	// Continuously inject spoofed responses claiming +100s.
+	for i := 0; i < 50; i++ {
+		resp := &ntpwire.Packet{
+			Version: 4, Mode: ntpwire.ModeServer, Stratum: 2,
+			OriginTime:   ntpwire.TimestampFromTime(r.net.Now()), // wrong: not the client's T1
+			ReceiveTime:  ntpwire.TimestampFromTime(r.net.Now().Add(100 * time.Second)),
+			TransmitTime: ntpwire.TimestampFromTime(r.net.Now().Add(100 * time.Second)),
+		}
+		// The attacker must also guess the ephemeral port; try a spread.
+		for port := uint16(49152); port < 49157; port++ {
+			datagram := simnet.EncodeUDP(serverAddr, simnet.Addr{IP: clientIP, Port: port}, resp.Encode())
+			r.net.Inject(simnet.Packet{
+				Src: serverAddr.IP, Dst: clientIP, Proto: simnet.ProtoUDP,
+				ID: uint16(i), Payload: datagram,
+			}, time.Duration(i)*100*time.Millisecond)
+		}
+	}
+	r.net.RunFor(2 * time.Minute)
+	off := r.client.Offset()
+	if off > 50*time.Millisecond || off < -50*time.Millisecond {
+		t.Errorf("spoofed responses shifted client to %v", off)
+	}
+}
+
+func TestDNSBootstrapOnce(t *testing.T) {
+	// Client resolves pool.ntp.org through a resolver exactly once.
+	n := simnet.New(simnet.Config{Seed: 72})
+	_, ips, err := ntpserver.Farm(n, simnet.IPv4(203, 0, 113, 1), 8, time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	authHost, _ := n.AddHost(simnet.IPv4(198, 51, 100, 10))
+	auth, _ := dnsserver.New(authHost)
+	pool, err := dnsserver.NewPoolZone(dnsserver.PoolConfig{Name: "pool.ntp.org"}, n.Now(), ips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = auth.AddZone("pool.ntp.org", pool)
+
+	resHost, _ := n.AddHost(simnet.IPv4(10, 0, 0, 53))
+	res, err := dnsresolver.New(resHost, dnsresolver.Config{}, []dnsresolver.Hint{
+		{Zone: "pool.ntp.org", Addr: auth.Addr()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ch, _ := n.AddHost(clientIP)
+	stub := dnsresolver.NewStub(ch, res.Addr(), 0)
+	cli := New(ch, clock.New(n.Now(), 500*time.Millisecond, 0), stub,
+		Config{PoolName: "pool.ntp.org", PollInterval: 16 * time.Second})
+	var startErr error
+	done := false
+	cli.Start(func(err error) { startErr, done = err, true })
+	n.RunFor(5 * time.Second)
+	if !done || startErr != nil {
+		t.Fatalf("start: done=%v err=%v", done, startErr)
+	}
+	if got := len(cli.Servers()); got != 4 {
+		t.Fatalf("servers = %d, want 4", got)
+	}
+	n.RunFor(10 * time.Minute)
+	if off := cli.Offset(); off < -10*time.Millisecond || off > 10*time.Millisecond {
+		t.Errorf("offset = %v", off)
+	}
+	// The classic client performed exactly one DNS resolution.
+	if q := res.Stats().ClientQueries; q != 1 {
+		t.Errorf("DNS client queries = %d, want 1 (resolve once at startup)", q)
+	}
+}
+
+func TestIntersectUnit(t *testing.T) {
+	mk := func(off, rd time.Duration) candidate {
+		return candidate{offset: off, rdist: rd}
+	}
+	// Three clustered + one far falseticker.
+	cands := []candidate{
+		mk(0, 20*time.Millisecond),
+		mk(2*time.Millisecond, 20*time.Millisecond),
+		mk(-3*time.Millisecond, 20*time.Millisecond),
+		mk(10*time.Second, 20*time.Millisecond),
+	}
+	got := intersect(cands)
+	if len(got) != 3 {
+		t.Fatalf("survivors = %d, want 3", len(got))
+	}
+	for _, s := range got {
+		if s.offset > time.Second {
+			t.Error("falseticker survived")
+		}
+	}
+	// Empty in → empty out.
+	if out := intersect(nil); len(out) != 0 {
+		t.Error("intersect(nil) non-empty")
+	}
+	// Single candidate survives.
+	if out := intersect(cands[:1]); len(out) != 1 {
+		t.Error("single candidate should survive")
+	}
+	// Two disjoint candidates: no majority intersection exists.
+	disjoint := []candidate{
+		mk(0, time.Millisecond),
+		mk(time.Second, time.Millisecond),
+	}
+	if out := intersect(disjoint); len(out) != 0 {
+		t.Errorf("disjoint pair should yield no consensus, got %d", len(out))
+	}
+}
+
+func TestClusterUnit(t *testing.T) {
+	mk := func(off, rd time.Duration) candidate {
+		return candidate{offset: off, rdist: rd}
+	}
+	survivors := []candidate{
+		mk(0, time.Millisecond),
+		mk(time.Millisecond, time.Millisecond),
+		mk(-time.Millisecond, time.Millisecond),
+		mk(400*time.Millisecond, time.Millisecond), // outlier by jitter
+		mk(2*time.Millisecond, time.Millisecond),
+	}
+	got := cluster(survivors, 3)
+	if len(got) > 4 {
+		t.Fatalf("cluster kept %d", len(got))
+	}
+	for _, s := range got {
+		if s.offset == 400*time.Millisecond && len(got) > 3 {
+			t.Error("outlier survived clustering")
+		}
+	}
+}
+
+func TestCombineWeightsByDistance(t *testing.T) {
+	survivors := []candidate{
+		{offset: 0, rdist: time.Millisecond},                 // high weight
+		{offset: 100 * time.Millisecond, rdist: time.Second}, // low weight
+	}
+	got := combine(survivors)
+	if got > 10*time.Millisecond {
+		t.Errorf("combine = %v, want dominated by the accurate server", got)
+	}
+	if combine(nil) != 0 {
+		t.Error("combine(nil) != 0")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	r := newRig(t, 73, 1, 0, 0, 0)
+	if r.client.String() == "" {
+		t.Error("String empty")
+	}
+}

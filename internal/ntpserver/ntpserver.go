@@ -1,0 +1,185 @@
+// Package ntpserver implements NTPv4 servers for the simulated network:
+// honest servers answering from their (slightly imperfect) local clocks,
+// and malicious servers applying a time-shift strategy. A pool of these —
+// honest majority or attacker-controlled supermajority — is what Chronos
+// samples from.
+package ntpserver
+
+import (
+	"fmt"
+	"time"
+
+	"chronosntp/internal/clock"
+	"chronosntp/internal/ntpwire"
+	"chronosntp/internal/simnet"
+)
+
+// ShiftStrategy decides the time shift a malicious server applies to its
+// transmit/receive timestamps for one request. Honest servers use nil.
+type ShiftStrategy interface {
+	// Shift returns the offset to add to the server's clock reading for
+	// the response sent at (true) time now.
+	Shift(now time.Time) time.Duration
+}
+
+// ConstantShift shifts every response by a fixed amount.
+type ConstantShift time.Duration
+
+var _ ShiftStrategy = ConstantShift(0)
+
+// Shift implements ShiftStrategy.
+func (c ConstantShift) Shift(time.Time) time.Duration { return time.Duration(c) }
+
+// ShiftFunc adapts a function to ShiftStrategy. The attack package uses it
+// for adaptive below-threshold strategies.
+type ShiftFunc func(now time.Time) time.Duration
+
+var _ ShiftStrategy = ShiftFunc(nil)
+
+// Shift implements ShiftStrategy.
+func (f ShiftFunc) Shift(now time.Time) time.Duration { return f(now) }
+
+// Config parameterises a Server.
+type Config struct {
+	Stratum     uint8         // default 2
+	ReferenceID uint32        // default "SIM\0"
+	Clock       *clock.Clock  // server's local clock; nil means perfect
+	Strategy    ShiftStrategy // nil = honest
+	Processing  time.Duration // server-side processing delay between RX and TX timestamps; default 10µs
+}
+
+func (c Config) withDefaults() Config {
+	if c.Stratum == 0 {
+		c.Stratum = 2
+	}
+	if c.ReferenceID == 0 {
+		c.ReferenceID = 0x53494D00 // "SIM\0"
+	}
+	if c.Clock == nil {
+		c.Clock = &clock.Clock{}
+	}
+	if c.Processing == 0 {
+		c.Processing = 10 * time.Microsecond
+	}
+	return c
+}
+
+// Server is an NTP server bound to port 123 of a simulated host.
+type Server struct {
+	host    *simnet.Host
+	cfg     Config
+	queries uint64
+}
+
+// New binds a server to host.
+func New(host *simnet.Host, cfg Config) (*Server, error) {
+	s := &Server{host: host, cfg: cfg.withDefaults()}
+	if err := host.Listen(ntpwire.Port, s.handle); err != nil {
+		return nil, fmt.Errorf("ntpserver: %w", err)
+	}
+	return s, nil
+}
+
+// Addr returns the server's NTP endpoint.
+func (s *Server) Addr() simnet.Addr { return simnet.Addr{IP: s.host.IP(), Port: ntpwire.Port} }
+
+// Queries reports the number of requests served.
+func (s *Server) Queries() uint64 { return s.queries }
+
+// Malicious reports whether the server applies a shift strategy.
+func (s *Server) Malicious() bool { return s.cfg.Strategy != nil }
+
+// SetStrategy swaps the shift strategy at runtime (attack orchestration).
+func (s *Server) SetStrategy(st ShiftStrategy) { s.cfg.Strategy = st }
+
+// handle answers mode-3 client requests.
+func (s *Server) handle(now time.Time, meta simnet.Meta, payload []byte) {
+	req, err := ntpwire.Decode(payload)
+	if err != nil || req.Mode != ntpwire.ModeClient {
+		return
+	}
+	s.queries++
+
+	shift := time.Duration(0)
+	if s.cfg.Strategy != nil {
+		shift = s.cfg.Strategy.Shift(now)
+	}
+	recv := s.cfg.Clock.Now(now).Add(shift)
+	xmit := s.cfg.Clock.Now(now.Add(s.cfg.Processing)).Add(shift)
+
+	resp := &ntpwire.Packet{
+		Leap:           ntpwire.LeapNone,
+		Version:        ntpwire.Version,
+		Mode:           ntpwire.ModeServer,
+		Stratum:        s.cfg.Stratum,
+		Poll:           req.Poll,
+		Precision:      -23,
+		RootDelay:      ntpwire.ShortFromDuration(5 * time.Millisecond),
+		RootDispersion: ntpwire.ShortFromDuration(time.Millisecond),
+		ReferenceID:    s.cfg.ReferenceID,
+		ReferenceTime:  ntpwire.TimestampFromTime(recv.Add(-30 * time.Second)),
+		OriginTime:     req.TransmitTime,
+		ReceiveTime:    ntpwire.TimestampFromTime(recv),
+		TransmitTime:   ntpwire.TimestampFromTime(xmit),
+	}
+	_ = s.host.SendUDP(ntpwire.Port, meta.From, resp.Encode())
+}
+
+// Farm creates count NTP servers on consecutive addresses starting at
+// base, returning their addresses. Honest servers get small random clock
+// errors (offset up to ±maxErr, drift up to ±drift ppm) drawn from the
+// network RNG, so the simulated pool shows realistic dispersion.
+func Farm(n *simnet.Network, base simnet.IP, count int, maxErr time.Duration, driftPPM float64) ([]*Server, []simnet.IP, error) {
+	servers := make([]*Server, 0, count)
+	ips := make([]simnet.IP, 0, count)
+	rng := n.Rand()
+	for i := 0; i < count; i++ {
+		ip := offsetIP(base, i)
+		host, err := n.AddHost(ip)
+		if err != nil {
+			return nil, nil, fmt.Errorf("farm host %d: %w", i, err)
+		}
+		var off time.Duration
+		if maxErr > 0 {
+			off = time.Duration(rng.Int63n(int64(2*maxErr))) - maxErr
+		}
+		var drift float64
+		if driftPPM > 0 {
+			drift = rng.Float64()*2*driftPPM - driftPPM
+		}
+		srv, err := New(host, Config{Clock: clock.New(n.Now(), off, drift)})
+		if err != nil {
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		ips = append(ips, ip)
+	}
+	return servers, ips, nil
+}
+
+// MaliciousFarm creates count malicious servers sharing one strategy.
+func MaliciousFarm(n *simnet.Network, base simnet.IP, count int, strategy ShiftStrategy) ([]*Server, []simnet.IP, error) {
+	servers := make([]*Server, 0, count)
+	ips := make([]simnet.IP, 0, count)
+	for i := 0; i < count; i++ {
+		ip := offsetIP(base, i)
+		host, err := n.AddHost(ip)
+		if err != nil {
+			return nil, nil, fmt.Errorf("malicious farm host %d: %w", i, err)
+		}
+		srv, err := New(host, Config{Strategy: strategy})
+		if err != nil {
+			return nil, nil, err
+		}
+		servers = append(servers, srv)
+		ips = append(ips, ip)
+	}
+	return servers, ips, nil
+}
+
+// offsetIP adds i to the host portion of base (carrying into octets).
+func offsetIP(base simnet.IP, i int) simnet.IP {
+	v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+	v += uint32(i)
+	return simnet.IPv4(byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

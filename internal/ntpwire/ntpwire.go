@@ -1,0 +1,191 @@
+// Package ntpwire implements the NTPv4 on-wire format (RFC 5905): the
+// 48-byte packet header and the 64-bit era-0 timestamp representation.
+package ntpwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+)
+
+// PacketSize is the size of a bare NTPv4 header (no extensions, no MAC).
+const PacketSize = 48
+
+// Port is the well-known NTP UDP port.
+const Port = 123
+
+// Mode is the 3-bit association mode.
+type Mode uint8
+
+// Association modes (RFC 5905 §7.3).
+const (
+	ModeSymmetricActive  Mode = 1
+	ModeSymmetricPassive Mode = 2
+	ModeClient           Mode = 3
+	ModeServer           Mode = 4
+	ModeBroadcast        Mode = 5
+)
+
+// LeapIndicator is the 2-bit leap warning field.
+type LeapIndicator uint8
+
+// Leap indicator values.
+const (
+	LeapNone   LeapIndicator = 0
+	LeapAddSec LeapIndicator = 1
+	LeapDelSec LeapIndicator = 2
+	LeapUnsync LeapIndicator = 3 // clock not synchronised
+)
+
+// Version is the NTP version this package speaks.
+const Version = 4
+
+// ErrShortPacket is returned when decoding fewer than 48 bytes.
+var ErrShortPacket = errors.New("ntpwire: short packet")
+
+// ntpEpoch is the NTP era-0 epoch: 1900-01-01T00:00:00Z.
+var ntpEpoch = time.Date(1900, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Timestamp is a 64-bit NTP timestamp: 32 bits of seconds since the 1900
+// epoch, 32 bits of binary fraction. The zero value means "not set"
+// (RFC 5905 uses zero-valued timestamps the same way).
+type Timestamp uint64
+
+// TimestampFromTime converts a time.Time (era 0: 1900–2036) into an NTP
+// timestamp.
+func TimestampFromTime(t time.Time) Timestamp {
+	if t.IsZero() {
+		return 0
+	}
+	d := t.Sub(ntpEpoch)
+	secs := uint64(d / time.Second)
+	frac := uint64(d%time.Second) << 32 / uint64(time.Second)
+	return Timestamp(secs<<32 | frac)
+}
+
+// Time converts the timestamp back to time.Time (era 0). The zero
+// timestamp maps to the zero time.
+func (ts Timestamp) Time() time.Time {
+	if ts == 0 {
+		return time.Time{}
+	}
+	secs := uint64(ts) >> 32
+	frac := uint64(ts) & 0xFFFFFFFF
+	nanos := frac * uint64(time.Second) >> 32
+	return ntpEpoch.Add(time.Duration(secs)*time.Second + time.Duration(nanos))
+}
+
+// IsZero reports whether the timestamp is unset.
+func (ts Timestamp) IsZero() bool { return ts == 0 }
+
+// Short is the 32-bit NTP short format (16.16 fixed point seconds) used
+// for root delay and dispersion.
+type Short uint32
+
+// ShortFromDuration converts a duration into NTP short format, saturating.
+func ShortFromDuration(d time.Duration) Short {
+	if d < 0 {
+		d = 0
+	}
+	secs := d / time.Second
+	if secs > 0xFFFF {
+		return Short(0xFFFFFFFF)
+	}
+	frac := (d % time.Second) << 16 / time.Second
+	return Short(uint32(secs)<<16 | uint32(frac))
+}
+
+// Duration converts the short format back into a duration.
+func (s Short) Duration() time.Duration {
+	secs := time.Duration(s>>16) * time.Second
+	frac := time.Duration(s&0xFFFF) * time.Second >> 16
+	return secs + frac
+}
+
+// Packet is a decoded NTPv4 header.
+type Packet struct {
+	Leap      LeapIndicator
+	Version   uint8
+	Mode      Mode
+	Stratum   uint8
+	Poll      int8
+	Precision int8
+
+	RootDelay      Short
+	RootDispersion Short
+	ReferenceID    uint32
+
+	ReferenceTime Timestamp
+	OriginTime    Timestamp // T1 as echoed by the server
+	ReceiveTime   Timestamp // T2
+	TransmitTime  Timestamp // T3
+}
+
+// Encode serialises the packet into 48 bytes.
+func (p *Packet) Encode() []byte {
+	b := make([]byte, PacketSize)
+	b[0] = byte(p.Leap)<<6 | (p.Version&0x7)<<3 | byte(p.Mode)&0x7
+	b[1] = p.Stratum
+	b[2] = byte(p.Poll)
+	b[3] = byte(p.Precision)
+	binary.BigEndian.PutUint32(b[4:8], uint32(p.RootDelay))
+	binary.BigEndian.PutUint32(b[8:12], uint32(p.RootDispersion))
+	binary.BigEndian.PutUint32(b[12:16], p.ReferenceID)
+	binary.BigEndian.PutUint64(b[16:24], uint64(p.ReferenceTime))
+	binary.BigEndian.PutUint64(b[24:32], uint64(p.OriginTime))
+	binary.BigEndian.PutUint64(b[32:40], uint64(p.ReceiveTime))
+	binary.BigEndian.PutUint64(b[40:48], uint64(p.TransmitTime))
+	return b
+}
+
+// Decode parses a 48-byte NTPv4 header. Extra bytes (extensions, MACs)
+// are ignored.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) < PacketSize {
+		return nil, ErrShortPacket
+	}
+	return &Packet{
+		Leap:           LeapIndicator(b[0] >> 6),
+		Version:        b[0] >> 3 & 0x7,
+		Mode:           Mode(b[0] & 0x7),
+		Stratum:        b[1],
+		Poll:           int8(b[2]),
+		Precision:      int8(b[3]),
+		RootDelay:      Short(binary.BigEndian.Uint32(b[4:8])),
+		RootDispersion: Short(binary.BigEndian.Uint32(b[8:12])),
+		ReferenceID:    binary.BigEndian.Uint32(b[12:16]),
+		ReferenceTime:  Timestamp(binary.BigEndian.Uint64(b[16:24])),
+		OriginTime:     Timestamp(binary.BigEndian.Uint64(b[24:32])),
+		ReceiveTime:    Timestamp(binary.BigEndian.Uint64(b[32:40])),
+		TransmitTime:   Timestamp(binary.BigEndian.Uint64(b[40:48])),
+	}, nil
+}
+
+// NewClientPacket builds a mode-3 request with TransmitTime = t1 (the
+// client's clock reading at transmission).
+func NewClientPacket(t1 time.Time) *Packet {
+	return &Packet{
+		Leap:         LeapUnsync,
+		Version:      Version,
+		Mode:         ModeClient,
+		Poll:         6,
+		Precision:    -20,
+		TransmitTime: TimestampFromTime(t1),
+	}
+}
+
+// OffsetDelay computes the canonical NTP clock offset and round-trip delay
+// from the four timestamps of one exchange (RFC 5905 §8):
+//
+//	offset = ((T2 − T1) + (T3 − T4)) / 2
+//	delay  =  (T4 − T1) − (T3 − T2)
+//
+// where T1/T4 are client clock readings and T2/T3 server clock readings.
+func OffsetDelay(t1, t2, t3, t4 time.Time) (offset, delay time.Duration) {
+	offset = (t2.Sub(t1) + t3.Sub(t4)) / 2
+	delay = t4.Sub(t1) - t3.Sub(t2)
+	if delay < 0 {
+		delay = 0
+	}
+	return offset, delay
+}

@@ -1,0 +1,113 @@
+package simnet
+
+import (
+	"fmt"
+
+	"chronosntp/internal/ipfrag"
+)
+
+// Host is a network endpoint: an IP address, a set of bound UDP ports, and
+// a fragment-reassembly cache.
+type Host struct {
+	net        *Network
+	ip         IP
+	ports      map[uint16]Handler
+	reasm      *ipfrag.Reassembler
+	nextIPID   uint16
+	randomIPID bool
+	nextEph    uint16
+}
+
+// IP returns the host's address.
+func (h *Host) IP() IP { return h.ip }
+
+// Net returns the network the host belongs to.
+func (h *Host) Net() *Network { return h.net }
+
+// Listen binds handler to port.
+func (h *Host) Listen(port uint16, handler Handler) error {
+	if _, ok := h.ports[port]; ok {
+		return fmt.Errorf("%w: %s:%d", ErrPortInUse, h.ip, port)
+	}
+	h.ports[port] = handler
+	return nil
+}
+
+// Close unbinds port, reporting whether it was bound.
+func (h *Host) Close(port uint16) bool {
+	_, ok := h.ports[port]
+	delete(h.ports, port)
+	return ok
+}
+
+// EphemeralPort returns an unused port from the ephemeral range, cycling
+// sequentially (the predictable default; services that randomise source
+// ports — like hardened DNS resolvers — pick their own).
+func (h *Host) EphemeralPort() uint16 {
+	for i := 0; i < 1<<14; i++ {
+		p := h.nextEph
+		h.nextEph++
+		if h.nextEph == 0 {
+			h.nextEph = 49152
+		}
+		if _, used := h.ports[p]; !used && p >= 1024 {
+			return p
+		}
+	}
+	return 0
+}
+
+// RandomPort returns an unused high port chosen with the network RNG
+// (source-port randomisation, the standard DNS cache-poisoning defence).
+func (h *Host) RandomPort() uint16 {
+	for {
+		p := uint16(1024 + h.net.rng.Intn(1<<16-1024))
+		if _, used := h.ports[p]; !used {
+			return p
+		}
+	}
+}
+
+// allocIPID returns the next IP Identification value. By default the
+// counter is global per host and increments by one — the classic,
+// predictable behaviour that IPID-forgery attacks rely on. With
+// SetRandomIPID the host draws a fresh random ID per datagram instead
+// (the hardened-stack ablation that defeats fragment pre-planting).
+func (h *Host) allocIPID() uint16 {
+	if h.randomIPID {
+		return uint16(h.net.rng.Intn(1 << 16))
+	}
+	id := h.nextIPID
+	h.nextIPID++
+	return id
+}
+
+// PeekIPID returns the IPID the host will use for its next packet (only
+// meaningful for sequential mode). Test and analysis code uses it;
+// attackers must infer it by probing.
+func (h *Host) PeekIPID() uint16 { return h.nextIPID }
+
+// SetRandomIPID switches the host between the predictable sequential IPID
+// counter (false, the default and the attack precondition) and per-packet
+// random IPIDs (true).
+func (h *Host) SetRandomIPID(random bool) { h.randomIPID = random }
+
+// RandomizeIPID re-seeds the host's sequential IPID counter from the
+// network RNG.
+func (h *Host) RandomizeIPID() { h.nextIPID = uint16(h.net.rng.Intn(1 << 16)) }
+
+// SetReassemblyPolicy replaces the host's fragment cache with one using the
+// given configuration (used to model OS differences and resolver hardening).
+func (h *Host) SetReassemblyPolicy(cfg ipfrag.Config) {
+	h.reasm = ipfrag.NewReassembler(cfg)
+}
+
+// Reassembler exposes the host's fragment cache. The defragmentation
+// attack plants spoofed fragments here *via the network* (Inject); direct
+// access is for tests and measurements.
+func (h *Host) Reassembler() *ipfrag.Reassembler { return h.reasm }
+
+// SendUDP transmits from a specific local port on this host.
+func (h *Host) SendUDP(fromPort uint16, to Addr, payload []byte) error {
+	return h.net.SendUDP(Addr{IP: h.ip, Port: fromPort}, to, payload)
+}

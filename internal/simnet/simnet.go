@@ -1,0 +1,441 @@
+// Package simnet is a deterministic discrete-event IPv4/UDP network
+// simulator. It is the substrate every other component of the Chronos-NTP
+// reproduction runs on: DNS servers and resolvers, NTP servers, Chronos and
+// classic NTP clients, and the attackers.
+//
+// Design goals, in order:
+//
+//  1. Determinism. A single-threaded event loop over virtual time, ordered
+//     by (timestamp, sequence number), with one seeded RNG. Every
+//     experiment is bit-reproducible from its seed. No goroutines.
+//  2. Protocol fidelity where the paper's attacks live: real UDP headers
+//     and checksums, per-path MTU with genuine IPv4 fragmentation and
+//     receiver-side reassembly caches, predictable per-host IPID counters
+//     (the classic globally incrementing counter that makes fragment
+//     injection practical), and raw-packet injection for off-path
+//     attackers.
+//  3. Simplicity elsewhere: no routing tables (full mesh), no TCP, no ICMP
+//     beyond silent drops.
+package simnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"chronosntp/internal/ipfrag"
+)
+
+// Errors returned by Network methods.
+var (
+	ErrHostExists   = errors.New("simnet: host already exists")
+	ErrNoSuchHost   = errors.New("simnet: no such host")
+	ErrPortInUse    = errors.New("simnet: port already bound")
+	ErrPayloadLimit = errors.New("simnet: payload exceeds 65535 bytes")
+)
+
+// Meta carries per-datagram metadata into UDP handlers. Exposing the IPID
+// matters: off-path attackers learn a server's IPID counter by eliciting
+// any response from it.
+type Meta struct {
+	From Addr
+	To   Addr
+	IPID uint16
+}
+
+// Handler consumes a reassembled, checksum-valid UDP datagram.
+type Handler func(now time.Time, meta Meta, payload []byte)
+
+// LatencyFn returns the one-way delay for a packet from src to dst. It may
+// consult rng for jitter; the rng is the network's seeded source, so jitter
+// is reproducible.
+type LatencyFn func(src, dst IP, rng *rand.Rand) time.Duration
+
+// LossFn reports whether a packet from src to dst is dropped.
+type LossFn func(src, dst IP, rng *rand.Rand) bool
+
+// MTUFn returns the path MTU from src to dst (bytes, including the
+// 20-byte IP header).
+type MTUFn func(src, dst IP) int
+
+// DefaultMTU is the Ethernet MTU assumed for unconfigured paths.
+const DefaultMTU = 1500
+
+// Config parameterises a Network.
+type Config struct {
+	Seed    int64     // RNG seed; 0 means 1
+	Start   time.Time // virtual-time origin; zero means 2020-06-01T00:00:00Z
+	Latency LatencyFn // nil means 2ms + U[0,3ms) jitter
+	Loss    LossFn    // nil means lossless
+	MTU     MTUFn     // nil means DefaultMTU everywhere
+}
+
+// Network is the simulated internet. All methods must be called from the
+// event-loop thread (handlers and timer callbacks already are).
+type Network struct {
+	now     time.Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	hosts   map[IP]*Host
+	taps    []tapEntry
+	tapSeq  uint64
+	latency LatencyFn
+	loss    LossFn
+	mtu     MTUFn
+	mtuOvr  map[[2]IP]int
+
+	delivered uint64 // datagrams handed to handlers
+	dropped   uint64 // packets lost, tapped away, or undeliverable
+}
+
+// New builds a Network from cfg.
+func New(cfg Config) *Network {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	start := cfg.Start
+	if start.IsZero() {
+		start = time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	lat := cfg.Latency
+	if lat == nil {
+		lat = func(src, dst IP, rng *rand.Rand) time.Duration {
+			return 2*time.Millisecond + time.Duration(rng.Int63n(int64(3*time.Millisecond)))
+		}
+	}
+	loss := cfg.Loss
+	if loss == nil {
+		loss = func(src, dst IP, rng *rand.Rand) bool { return false }
+	}
+	mtu := cfg.MTU
+	if mtu == nil {
+		mtu = func(src, dst IP) int { return DefaultMTU }
+	}
+	return &Network{
+		now:     start,
+		rng:     rand.New(rand.NewSource(seed)),
+		hosts:   make(map[IP]*Host),
+		latency: lat,
+		loss:    loss,
+		mtu:     mtu,
+		mtuOvr:  make(map[[2]IP]int),
+	}
+}
+
+// SetPathMTU overrides the MTU for the directed path src→dst. This models
+// the effect of (spoofed) ICMP fragmentation-needed messages: off-path
+// attackers shrink a nameserver's path MTU toward a victim resolver so its
+// responses fragment. A non-positive mtu removes the override.
+func (n *Network) SetPathMTU(src, dst IP, mtu int) {
+	if mtu <= 0 {
+		delete(n.mtuOvr, [2]IP{src, dst})
+		return
+	}
+	n.mtuOvr[[2]IP{src, dst}] = mtu
+}
+
+// PathMTU reports the effective MTU for src→dst.
+func (n *Network) PathMTU(src, dst IP) int {
+	if mtu, ok := n.mtuOvr[[2]IP{src, dst}]; ok {
+		return mtu
+	}
+	return n.mtu(src, dst)
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.now }
+
+// Rand returns the network's seeded RNG. Services use it so that a single
+// seed reproduces the entire run.
+func (n *Network) Rand() *rand.Rand { return n.rng }
+
+// Delivered reports how many UDP datagrams reached a handler.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// Dropped reports how many packets were lost, tapped away, or
+// undeliverable.
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// AddHost registers a host at ip.
+func (n *Network) AddHost(ip IP) (*Host, error) {
+	if _, ok := n.hosts[ip]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrHostExists, ip)
+	}
+	h := &Host{
+		net:      n,
+		ip:       ip,
+		ports:    make(map[uint16]Handler),
+		reasm:    ipfrag.NewReassembler(ipfrag.Config{}),
+		nextIPID: uint16(n.rng.Intn(1 << 16)),
+		nextEph:  49152,
+	}
+	n.hosts[ip] = h
+	return h, nil
+}
+
+// Host returns the host registered at ip, if any.
+func (n *Network) Host(ip IP) (*Host, bool) {
+	h, ok := n.hosts[ip]
+	return h, ok
+}
+
+// AddTap installs an on-path observer/mutator and returns a handle used to
+// remove it. Taps run in installation order; the first non-Pass verdict
+// wins.
+func (n *Network) AddTap(t Tap) TapHandle {
+	n.tapSeq++
+	n.taps = append(n.taps, tapEntry{id: n.tapSeq, tap: t})
+	return TapHandle{net: n, id: n.tapSeq}
+}
+
+// TapHandle identifies an installed tap.
+type TapHandle struct {
+	net *Network
+	id  uint64
+}
+
+// Remove uninstalls the tap, reporting whether it was still installed.
+func (h TapHandle) Remove() bool {
+	if h.net == nil {
+		return false
+	}
+	for i, cur := range h.net.taps {
+		if cur.id == h.id {
+			h.net.taps = append(h.net.taps[:i], h.net.taps[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// SendUDP transmits payload from the registered host at from to to,
+// fragmenting at the path MTU. It returns an error only for local problems
+// (unknown source host, oversized payload); network loss is silent, as in
+// real UDP.
+func (n *Network) SendUDP(from, to Addr, payload []byte) error {
+	h, ok := n.hosts[from.IP]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchHost, from.IP)
+	}
+	datagram := EncodeUDP(from, to, payload)
+	if len(datagram) > 65535 {
+		return ErrPayloadLimit
+	}
+	id := h.allocIPID()
+	key := ipfrag.FlowKey{Src: [4]byte(from.IP), Dst: [4]byte(to.IP), Proto: ProtoUDP, ID: id}
+	frags, err := ipfrag.Split(key, datagram, n.PathMTU(from.IP, to.IP))
+	if err != nil {
+		return fmt.Errorf("fragment: %w", err)
+	}
+	for _, f := range frags {
+		n.transmit(Packet{
+			Src: from.IP, Dst: to.IP, Proto: ProtoUDP,
+			ID: id, Offset: f.Offset, More: f.More, Payload: f.Data,
+		})
+	}
+	return nil
+}
+
+// Inject places a raw packet on the wire after delay. Off-path attackers
+// use it to send spoofed datagrams and fragments: Src, ID, Offset and More
+// are entirely caller-controlled.
+func (n *Network) Inject(pkt Packet, delay time.Duration) {
+	n.at(n.now.Add(delay), func() { n.transmit(pkt) })
+}
+
+// transmit runs taps, loss, and schedules delivery.
+func (n *Network) transmit(pkt Packet) {
+	pkts := []Packet{pkt}
+	for _, entry := range n.taps {
+		var next []Packet
+		for _, p := range pkts {
+			verdict, repl := entry.tap.Inspect(p)
+			switch verdict {
+			case Drop:
+				n.dropped++
+			case Replace:
+				next = append(next, repl...)
+			default:
+				next = append(next, p)
+			}
+		}
+		pkts = next
+	}
+	for _, p := range pkts {
+		if n.loss(p.Src, p.Dst, n.rng) {
+			n.dropped++
+			continue
+		}
+		p := p
+		n.at(n.now.Add(n.latency(p.Src, p.Dst, n.rng)), func() { n.deliver(p) })
+	}
+}
+
+// deliver hands a packet to its destination host: reassembly, UDP
+// validation, then handler dispatch.
+func (n *Network) deliver(pkt Packet) {
+	h, ok := n.hosts[pkt.Dst]
+	if !ok {
+		n.dropped++
+		return
+	}
+	datagram, done := h.reasm.Insert(n.now, pkt.Fragment())
+	if !done {
+		return // waiting for more fragments (or dropped as malformed)
+	}
+	if pkt.Proto != ProtoUDP {
+		n.dropped++
+		return
+	}
+	srcPort, dstPort, payload, err := DecodeUDP(pkt.Src, pkt.Dst, datagram)
+	if err != nil {
+		n.dropped++
+		return
+	}
+	handler, ok := h.ports[dstPort]
+	if !ok {
+		n.dropped++ // port unreachable: silent drop
+		return
+	}
+	n.delivered++
+	handler(n.now, Meta{
+		From: Addr{IP: pkt.Src, Port: srcPort},
+		To:   Addr{IP: pkt.Dst, Port: dstPort},
+		IPID: pkt.ID,
+	}, payload)
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer from firing if it has not fired yet. It
+// reports whether the cancellation was effective.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// After schedules fn to run after d of virtual time and returns a
+// cancellable Timer. A non-positive d runs fn at the current instant (but
+// still through the queue, preserving ordering).
+func (n *Network) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return &Timer{ev: n.at(n.now.Add(d), fn)}
+}
+
+// at enqueues fn at absolute virtual time t.
+func (n *Network) at(t time.Time, fn func()) *event {
+	n.seq++
+	ev := &event{when: t, seq: n.seq, fn: fn}
+	heap.Push(&n.queue, ev)
+	return ev
+}
+
+// Step executes the next pending event, if any, advancing virtual time to
+// it. It reports whether an event was executed.
+func (n *Network) Step() bool {
+	for n.queue.Len() > 0 {
+		ev, _ := heap.Pop(&n.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.when.After(n.now) {
+			n.now = ev.when
+		}
+		ev.fired = true
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes all events up to and including those at time until, then
+// advances virtual time to until.
+func (n *Network) Run(until time.Time) {
+	for n.queue.Len() > 0 {
+		next := n.queue[0]
+		if next.cancelled {
+			heap.Pop(&n.queue)
+			continue
+		}
+		if next.when.After(until) {
+			break
+		}
+		n.Step()
+	}
+	if until.After(n.now) {
+		n.now = until
+	}
+}
+
+// RunFor executes events for d of virtual time from now.
+func (n *Network) RunFor(d time.Duration) { n.Run(n.now.Add(d)) }
+
+// Drain executes events until the queue is empty or limit events have run.
+// It returns the number of events executed. A zero limit means no limit.
+func (n *Network) Drain(limit int) int {
+	count := 0
+	for n.Step() {
+		count++
+		if limit > 0 && count >= limit {
+			break
+		}
+	}
+	return count
+}
+
+// tapEntry pairs a tap with its removal id.
+type tapEntry struct {
+	id  uint64
+	tap Tap
+}
+
+// event is a queue entry.
+type event struct {
+	when      time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+// eventQueue is a min-heap ordered by (when, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when.Equal(q[j].when) {
+		return q[i].seq < q[j].seq
+	}
+	return q[i].when.Before(q[j].when)
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev, _ := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
