@@ -1,6 +1,9 @@
 package chronosntp_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -10,6 +13,7 @@ import (
 	"chronosntp/internal/dnswire"
 	"chronosntp/internal/eval"
 	"chronosntp/internal/mitigation"
+	"chronosntp/internal/runner"
 	"chronosntp/internal/simnet"
 )
 
@@ -91,7 +95,7 @@ func BenchmarkTableFragmentationStudy(b *testing.B) {
 	var tbl *eval.Table
 	for i := 0; i < b.N; i++ {
 		var err error
-		tbl, err = eval.FragmentationStudy(1)
+		tbl, err = eval.FragmentationStudy(1, 1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +167,7 @@ func BenchmarkTableMitigations(b *testing.B) {
 func BenchmarkTableAblations(b *testing.B) {
 	var rows float64
 	for i := 0; i < b.N; i++ {
-		tbl, err := eval.Ablations(1)
+		tbl, err := eval.Ablations(1, 1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -249,6 +253,44 @@ func BenchmarkDNSWireRoundTrip(b *testing.B) {
 		if _, err := dnswire.Decode(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunnerParallelism measures the Monte-Carlo engine's throughput
+// (trials/sec) at 1 worker, 4 workers, and GOMAXPROCS workers over a fixed
+// 16-trial grid of reduced scenarios. On a 4-core machine the 4-worker run
+// should deliver ≥ 2× the single-worker trials/sec.
+func BenchmarkRunnerParallelism(b *testing.B) {
+	grid := runner.Grid{
+		Base: core.Config{
+			PoolQueries:      6,
+			BenignServers:    60,
+			MaliciousServers: 20,
+		},
+		Seeds:         runner.Seeds(1, 4),
+		Mechanisms:    []core.Mechanism{core.Defrag, core.BGPHijack},
+		PoisonQueries: []int{2, 4},
+	}
+	trials := grid.Trials()
+
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, workers := range workerCounts {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := runner.MonteCarlo(context.Background(), trials, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(len(trials)*b.N)/elapsed.Seconds(), "trials/sec")
+			b.ReportMetric(float64(len(trials)), "trials/grid")
+		})
 	}
 }
 

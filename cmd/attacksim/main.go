@@ -3,15 +3,30 @@
 //
 // Usage:
 //
-//	attacksim [-seed N] [-experiment all|E1|E2|E3|E4|E5|E6|E7]
+//	attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1|E2|E3|E4|E5|E6|E7|E8]
+//	attacksim [-seed N] [-trials N] [-parallel N] -sweep mechanism,poisonquery[,mitigation]
+//
+// With -trials > 1 every scenario-backed experiment becomes a Monte-Carlo
+// run: each number is reported as mean ± 95% CI across independently
+// seeded replicas, fanned across -parallel workers (default GOMAXPROCS).
+// The aggregates are bit-identical at any -parallel value.
+//
+// -sweep runs the internal/runner grid engine directly over the named
+// dimensions (any comma-separated subset of mechanism, poisonquery,
+// mitigation) and prints one aggregate row per grid point.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"chronosntp/internal/core"
 	"chronosntp/internal/eval"
+	"chronosntp/internal/runner"
+	"chronosntp/internal/stats"
 )
 
 func main() {
@@ -22,22 +37,32 @@ func main() {
 }
 
 func run() error {
-	seed := flag.Int64("seed", 1, "deterministic simulation seed")
+	seed := flag.Int64("seed", 1, "deterministic simulation seed (first of the replica block)")
 	experiment := flag.String("experiment", "all", "experiment id (E1..E8) or 'all'")
+	trials := flag.Int("trials", 1, "Monte-Carlo replicas per scenario (1 = the paper's single-seed tables)")
+	parallel := flag.Int("parallel", 0, "worker count for the trial pool (0 = GOMAXPROCS)")
+	sweep := flag.String("sweep", "", "comma-separated grid dimensions to sweep: mechanism,poisonquery,mitigation")
 	flag.Parse()
 
+	if *trials < 1 {
+		return fmt.Errorf("-trials must be ≥ 1, got %d", *trials)
+	}
+	if *sweep != "" {
+		return runSweep(*sweep, *seed, *trials, *parallel)
+	}
+
 	runners := map[string]func() (*eval.Table, error){
-		"E1": func() (*eval.Table, error) { return eval.Figure1(*seed) },
-		"E2": func() (*eval.Table, error) { return eval.AttackWindow(*seed) },
+		"E1": func() (*eval.Table, error) { return eval.Figure1(*seed, *trials, *parallel) },
+		"E2": func() (*eval.Table, error) { return eval.AttackWindow(*seed, *trials, *parallel) },
 		"E3": eval.MaxAddresses,
 		"E4": eval.ChronosSecurity,
-		"E5": func() (*eval.Table, error) { return eval.FragmentationStudy(*seed) },
-		"E6": func() (*eval.Table, error) { return eval.TimeShift(*seed) },
-		"E7": func() (*eval.Table, error) { return eval.Mitigations(*seed) },
-		"E8": func() (*eval.Table, error) { return eval.Ablations(*seed) },
+		"E5": func() (*eval.Table, error) { return eval.FragmentationStudy(*seed, *trials, *parallel) },
+		"E6": func() (*eval.Table, error) { return eval.TimeShift(*seed, *trials, *parallel) },
+		"E7": func() (*eval.Table, error) { return eval.Mitigations(*seed, *trials, *parallel) },
+		"E8": func() (*eval.Table, error) { return eval.Ablations(*seed, *trials, *parallel) },
 	}
 	if *experiment == "all" {
-		tables, err := eval.All(*seed)
+		tables, err := eval.All(*seed, *trials, *parallel)
 		if err != nil {
 			return err
 		}
@@ -46,14 +71,89 @@ func run() error {
 		}
 		return nil
 	}
-	runner, ok := runners[*experiment]
+	r, ok := runners[*experiment]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (want E1..E8 or all)", *experiment)
 	}
-	t, err := runner()
+	t, err := r()
 	if err != nil {
 		return err
 	}
 	fmt.Println(t.Render())
 	return nil
+}
+
+// runSweep expands the requested dimensions into a runner.Grid, fans it
+// across the worker pool, and prints one aggregate row per grid point.
+func runSweep(dims string, seed int64, trials, parallel int) error {
+	grid := runner.Grid{
+		Base:  core.Config{Mechanism: core.Defrag, PoisonQuery: 12},
+		Seeds: runner.Seeds(seed, trials),
+	}
+	for _, dim := range strings.Split(dims, ",") {
+		switch strings.TrimSpace(dim) {
+		case "mechanism":
+			grid.Mechanisms = []core.Mechanism{
+				core.NoAttack, core.Defrag, core.BGPHijack, core.BGPHijackPersistent,
+			}
+		case "poisonquery":
+			for q := 1; q <= 24; q++ {
+				grid.PoisonQueries = append(grid.PoisonQueries, q)
+			}
+		case "mitigation":
+			grid.Toggles = eval.MitigationToggles()
+		case "":
+		default:
+			return fmt.Errorf("unknown sweep dimension %q (want mechanism, poisonquery, mitigation)", dim)
+		}
+	}
+
+	gridTrials := grid.Trials()
+	results, err := runner.Run(context.Background(), gridTrials, runner.Options{Parallel: parallel})
+	if err != nil {
+		return err
+	}
+
+	t := &eval.Table{
+		ID:    "SWEEP",
+		Title: fmt.Sprintf("grid sweep over %s — %d points × %d trials", dims, len(runner.Points(gridTrials)), trials),
+		Columns: []string{
+			"point", "trials", "attacker-fraction", "pool-benign", "pool-malicious", "planted",
+		},
+	}
+	groups := runner.ByPoint(gridTrials, results)
+	for _, point := range runner.Points(gridTrials) {
+		rs := groups[point]
+		var fraction, benign, malicious []float64
+		planted := 0
+		for _, r := range rs {
+			fraction = append(fraction, r.AttackerFraction)
+			benign = append(benign, float64(r.PoolBenign))
+			malicious = append(malicious, float64(r.PoolMalicious))
+			if r.PoisonPlanted {
+				planted++
+			}
+		}
+		t.AddRow(point, len(rs),
+			summaryCell(fraction, eval.FormatFraction),
+			summaryCell(benign, eval.FormatCount),
+			summaryCell(malicious, eval.FormatCount),
+			fmt.Sprintf("%d/%d", planted, len(rs)))
+	}
+	t.Notes = append(t.Notes,
+		"± values are normal 95% CIs of the mean across the seed replicas of each grid point",
+		"aggregates are bit-identical at any -parallel value (order-independent reduction keyed by trial index)",
+	)
+	fmt.Println(t.Render())
+	return nil
+}
+
+// summaryCell reduces a metric series and renders it with the shared eval
+// formatter, so sweep cells match the experiment tables byte for byte.
+func summaryCell(xs []float64, format func(stats.Summary) string) string {
+	s, err := stats.Describe(xs)
+	if err != nil {
+		return "-"
+	}
+	return format(s)
 }

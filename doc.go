@@ -14,7 +14,15 @@
 // closed-form security analysis, and the experiment harness regenerating
 // the paper's figure and quantitative claims.
 //
-// Entry points: cmd/attacksim runs any experiment; examples/ hold
-// runnable walkthroughs; bench_test.go regenerates every paper artefact
-// as a benchmark.
+// internal/runner adds a Monte-Carlo engine on top: it expands a grid of
+// scenario configurations (seeds × mechanisms × poison-query indices ×
+// mitigation toggles) across a worker pool and streams per-trial results
+// into an order-independent aggregator (internal/stats), so every
+// experiment can report mean ± 95% CI across replicas — bit-identically
+// at any parallelism level.
+//
+// Entry points: cmd/attacksim runs any experiment (-trials N -parallel N
+// for Monte-Carlo mode, -sweep for grid sweeps); examples/ hold runnable
+// walkthroughs; bench_test.go regenerates every paper artefact as a
+// benchmark and tracks the runner's trials/sec.
 package chronosntp

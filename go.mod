@@ -1,0 +1,3 @@
+module chronosntp
+
+go 1.21

@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"chronosntp/internal/analysis"
 	"chronosntp/internal/core"
+	"chronosntp/internal/runner"
 )
 
 // Ablations (E8) probes the design choices the attack depends on, each
@@ -16,7 +18,13 @@ import (
 //   - Chronos' sample size m (with d = m/3): the capture probability at
 //     the poisoned pool is insensitive to m once the attacker holds ≥ 2/3;
 //   - the poisoned-query index: fractions across the whole window.
-func Ablations(seed int64) (*Table, error) {
+//
+// The scenario-backed TTL rows are Monte-Carlo runs over `trials` seeds;
+// the remaining rows are closed-form.
+func Ablations(seed int64, trials, parallel int) (*Table, error) {
+	if trials < 1 {
+		trials = 1
+	}
 	t := &Table{
 		ID:      "E8",
 		Title:   "Ablations — what each attack ingredient buys",
@@ -24,19 +32,34 @@ func Ablations(seed int64) (*Table, error) {
 	}
 
 	// Forged-TTL pinning.
-	for _, ttl := range []time.Duration{7 * 24 * time.Hour, 150 * time.Second} {
-		s, err := core.NewScenario(core.Config{
-			Seed: seed, Mechanism: core.Defrag, PoisonQuery: 6, ForgedTTL: ttl,
-		})
-		if err != nil {
-			return nil, err
+	ttls := []time.Duration{7 * 24 * time.Hour, 150 * time.Second}
+	var gridTrials []runner.Trial
+	for _, ttl := range ttls {
+		for k := 0; k < trials; k++ {
+			gridTrials = append(gridTrials, runner.Trial{
+				Index: len(gridTrials),
+				Point: ttl.String(),
+				Config: core.Config{
+					Seed: seed + int64(k), Mechanism: core.Defrag, PoisonQuery: 6, ForgedTTL: ttl,
+				},
+			})
 		}
-		res, err := s.Run()
-		if err != nil {
-			return nil, err
+	}
+	results, err := runner.Run(context.Background(), gridTrials, runner.Options{Parallel: parallel})
+	if err != nil {
+		return nil, err
+	}
+	groups := runner.ByPoint(gridTrials, results)
+	for _, ttl := range ttls {
+		var benign, malicious, fraction []float64
+		for _, r := range groups[ttl.String()] {
+			benign = append(benign, float64(r.PoolBenign))
+			malicious = append(malicious, float64(r.PoolMalicious))
+			fraction = append(fraction, r.AttackerFraction)
 		}
 		t.AddRow("forged TTL", ttl.String(),
-			fmt.Sprintf("final pool %db+%dM, attacker %.3f", res.PoolBenign, res.PoolMalicious, res.AttackerFraction))
+			fmt.Sprintf("final pool %sb+%sM, attacker %s",
+				fmtCount(describe(benign)), fmtCount(describe(malicious)), fmtFrac(describe(fraction))))
 	}
 
 	// Sample-size sensitivity at the poisoned pool.
@@ -58,5 +81,6 @@ func Ablations(seed int64) (*Table, error) {
 		"TTL pinning is what freezes the pool: with a 150 s forged TTL the benign count keeps growing past the poisoning",
 		"capture probability is a threshold phenomenon in the pool fraction, not in m — matching the paper's 2/3 framing",
 	)
+	mcNote(t, trials)
 	return t, nil
 }

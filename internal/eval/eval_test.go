@@ -23,7 +23,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestFigure1Experiment(t *testing.T) {
-	tbl, err := Figure1(301)
+	tbl, err := Figure1(301, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestFigure1Experiment(t *testing.T) {
 }
 
 func TestAttackWindowExperiment(t *testing.T) {
-	tbl, err := AttackWindow(302)
+	tbl, err := AttackWindow(302, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestChronosSecurityExperiment(t *testing.T) {
 }
 
 func TestFragmentationStudyExperiment(t *testing.T) {
-	tbl, err := FragmentationStudy(303)
+	tbl, err := FragmentationStudy(303, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestFragmentationStudyExperiment(t *testing.T) {
 }
 
 func TestMitigationsExperiment(t *testing.T) {
-	tbl, err := Mitigations(304)
+	tbl, err := Mitigations(304, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestMitigationsExperiment(t *testing.T) {
 }
 
 func TestAblationsExperiment(t *testing.T) {
-	tbl, err := Ablations(306)
+	tbl, err := Ablations(306, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,11 +166,57 @@ func TestTimeShiftExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-hour simulated sync phases")
 	}
-	tbl, err := TimeShift(305)
+	tbl, err := TimeShift(305, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+// TestFigure1MonteCarlo exercises the multi-trial path: CIs appear in the
+// cells, and the aggregate is identical at -parallel 1 and -parallel 8.
+func TestFigure1MonteCarlo(t *testing.T) {
+	serial, err := Figure1(400, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure1(400, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Render() != parallel.Render() {
+		t.Errorf("parallel-1 and parallel-8 tables differ:\n%s\n---\n%s", serial.Render(), parallel.Render())
+	}
+	// Multi-trial cells carry the ± CI marker.
+	if !strings.Contains(serial.Rows[11][3], "±") {
+		t.Errorf("q12 fraction %q missing ± CI", serial.Rows[11][3])
+	}
+	found := false
+	for _, n := range serial.Notes {
+		if strings.Contains(n, "monte-carlo: 4 trials") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing monte-carlo note: %v", serial.Notes)
+	}
+}
+
+// TestMitigationsMonteCarlo keeps the §V verdicts stable across seeds: the
+// mitigated rows stay at zero malicious servers for every replica.
+func TestMitigationsMonteCarlo(t *testing.T) {
+	tbl, err := Mitigations(410, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 2, 3} {
+		if tbl.Rows[i][3] != "0.0 ± 0.0" {
+			t.Errorf("row %d (%s) malicious = %s, want 0.0 ± 0.0", i, tbl.Rows[i][0], tbl.Rows[i][3])
+		}
+	}
+	if tbl.Rows[4][4] != "1.000 ± 0.000" {
+		t.Errorf("persistent hijack fraction = %s", tbl.Rows[4][4])
 	}
 }

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,20 +10,29 @@ import (
 	"chronosntp/internal/analysis"
 	"chronosntp/internal/core"
 	"chronosntp/internal/mitigation"
+	"chronosntp/internal/runner"
 )
+
+// The scenario-backed experiments (E1, E2, E5, E6, E7, E8) are Monte-Carlo
+// runs: `trials` independently seeded replicas of every scenario are fanned
+// across `parallel` workers by internal/runner, and each reported number is
+// the mean ± 95% CI across the replicas. trials = 1 reproduces the original
+// single-seed tables verbatim; the aggregates are bit-identical at any
+// parallelism.
 
 // Figure1 reproduces the paper's Figure 1: the Chronos pool composition
 // across the 24 hourly pool-generation queries with the defragmentation
 // poisoning landing at query 12. Paper: 44 benign + 89 malicious ⇒ the
 // attacker holds a 2/3 majority.
-func Figure1(seed int64) (*Table, error) {
-	s, err := core.NewScenario(core.Config{
-		Seed: seed, Mechanism: core.Defrag, PoisonQuery: 12,
-	})
-	if err != nil {
-		return nil, err
+func Figure1(seed int64, trials, parallel int) (*Table, error) {
+	if trials < 1 {
+		trials = 1
 	}
-	res, err := s.Run()
+	grid := runner.Grid{
+		Base:  core.Config{Mechanism: core.Defrag, PoisonQuery: 12},
+		Seeds: runner.Seeds(seed, trials),
+	}
+	agg, results, err := runner.MonteCarlo(context.Background(), grid.Trials(), parallel)
 	if err != nil {
 		return nil, err
 	}
@@ -31,45 +41,77 @@ func Figure1(seed int64) (*Table, error) {
 		Title:   "Figure 1 — DNS poisoning attack on Chronos pool generation (poison at query 12)",
 		Columns: []string{"query", "benign", "malicious", "attacker-fraction"},
 	}
-	for _, q := range res.PerQuery {
-		t.AddRow(q.Query, q.Benign, q.Malicious, q.Fraction())
+	queries := len(results[0].PerQuery)
+	for q := 1; q <= queries; q++ {
+		benign, err := agg.Describe(runner.QueryMetric(q, "benign"))
+		if err != nil {
+			return nil, err
+		}
+		malicious, err := agg.Describe(runner.QueryMetric(q, "malicious"))
+		if err != nil {
+			return nil, err
+		}
+		fraction, err := agg.Describe(runner.QueryMetric(q, "fraction"))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(q, fmtCount(benign), fmtCount(malicious), fmtFrac(fraction))
 	}
+	benign, _ := agg.Describe(runner.MetricPoolBenign)
+	malicious, _ := agg.Describe(runner.MetricPoolMalicious)
+	fraction, _ := agg.Describe(runner.MetricAttackerFraction)
+	planted, _ := agg.Describe(runner.MetricPoisonPlanted)
 	ideal := analysis.ComposePool(12, 24, 4, 89)
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("paper: up to 4·11 = 44 benign + 89 malicious (fraction %.3f ≥ 2/3)", ideal.Fraction),
-		fmt.Sprintf("measured: %d benign + %d malicious (fraction %.3f); benign < 44 only through pool-rotation repeats",
-			res.PoolBenign, res.PoolMalicious, res.AttackerFraction),
-		fmt.Sprintf("poisoning mechanism: %s, planted = %v", res.Mechanism, res.PoisonPlanted),
+		fmt.Sprintf("measured: %s benign + %s malicious (fraction %s); benign < 44 only through pool-rotation repeats",
+			fmtCount(benign), fmtCount(malicious), fmtFrac(fraction)),
+		fmt.Sprintf("poisoning mechanism: %s, planted = %d/%d",
+			results[0].Mechanism, int(planted.Mean*float64(planted.N)+0.5), planted.N),
 	)
+	mcNote(t, trials)
 	return t, nil
 }
 
 // AttackWindow reproduces the §IV claim that poisoning any of the first 12
 // queries leaves the attacker with ≥ 2/3 of the pool: an analytical sweep
 // over the poisoned query index plus simulated spot checks.
-func AttackWindow(seed int64) (*Table, error) {
+func AttackWindow(seed int64, trials, parallel int) (*Table, error) {
+	if trials < 1 {
+		trials = 1
+	}
 	t := &Table{
 		ID:      "E2",
 		Title:   "Attack window — attacker pool fraction vs poisoned query index",
 		Columns: []string{"poison-query", "ideal-benign", "ideal-fraction", ">=2/3", "simulated-fraction"},
 	}
-	simulated := map[int]float64{}
-	for _, q := range []int{1, 6, 12, 13, 18, 24} {
-		s, err := core.NewScenario(core.Config{Seed: seed + int64(q), Mechanism: core.Defrag, PoisonQuery: q})
-		if err != nil {
-			return nil, err
+	spot := []int{1, 6, 12, 13, 18, 24}
+	var gridTrials []runner.Trial
+	for _, q := range spot {
+		for k := 0; k < trials; k++ {
+			gridTrials = append(gridTrials, runner.Trial{
+				Index: len(gridTrials),
+				Point: fmt.Sprintf("poison-query=%d", q),
+				Config: core.Config{
+					Seed: seed + int64(q) + int64(k), Mechanism: core.Defrag, PoisonQuery: q,
+				},
+			})
 		}
-		res, err := s.Run()
-		if err != nil {
-			return nil, err
-		}
-		simulated[q] = res.AttackerFraction
+	}
+	results, err := runner.Run(context.Background(), gridTrials, runner.Options{Parallel: parallel})
+	if err != nil {
+		return nil, err
+	}
+	fractions := make(map[int][]float64)
+	for i, tr := range gridTrials {
+		q := tr.Config.PoisonQuery
+		fractions[q] = append(fractions[q], results[i].AttackerFraction)
 	}
 	for q := 1; q <= 24; q++ {
 		c := analysis.ComposePool(q, 24, 4, 89)
 		sim := "-"
-		if f, ok := simulated[q]; ok {
-			sim = fmt.Sprintf("%.3f", f)
+		if xs, ok := fractions[q]; ok {
+			sim = fmtFrac(describe(xs))
 		}
 		t.AddRow(q, c.Benign, c.Fraction, c.Fraction >= 2.0/3.0, sim)
 	}
@@ -80,6 +122,7 @@ func AttackWindow(seed int64) (*Table, error) {
 		fmt.Sprintf("'even easier than plain NTP': at 10%% per-attempt poisoning success, classic client P=%.2f vs Chronos P=%.2f (%.1f× the opportunities)",
 			adv.Classic, adv.Chronos, adv.Advantage),
 	)
+	mcNote(t, trials)
 	return t, nil
 }
 
@@ -164,107 +207,160 @@ func ChronosSecurity() (*Table, error) {
 // a Chronos client with an honest pool, a Chronos client with the poisoned
 // pool, and a classic ≤4-server NTP client bootstrapped from the poisoned
 // resolver.
-func TimeShift(seed int64) (*Table, error) {
+func TimeShift(seed int64, trials, parallel int) (*Table, error) {
+	if trials < 1 {
+		trials = 1
+	}
 	t := &Table{
 		ID:      "E6",
 		Title:   "End-to-end time shift after a 2 h attack phase (adaptive below-threshold strategy)",
 		Columns: []string{"client", "pool", "final-offset", "max-offset"},
 	}
-	honest, err := core.NewScenario(core.Config{Seed: seed, SyncDuration: 2 * time.Hour})
+	var gridTrials []runner.Trial
+	for k := 0; k < trials; k++ {
+		gridTrials = append(gridTrials, runner.Trial{
+			Index:  len(gridTrials),
+			Point:  "honest",
+			Config: core.Config{Seed: seed + 2*int64(k), SyncDuration: 2 * time.Hour},
+		})
+	}
+	for k := 0; k < trials; k++ {
+		gridTrials = append(gridTrials, runner.Trial{
+			Index: len(gridTrials),
+			Point: "poisoned",
+			Config: core.Config{
+				Seed: seed + 1 + 2*int64(k), Mechanism: core.Defrag, PoisonQuery: 12,
+				SyncDuration: 2 * time.Hour, RunPlainNTP: true,
+			},
+		})
+	}
+	results, err := runner.Run(context.Background(), gridTrials, runner.Options{Parallel: parallel})
 	if err != nil {
 		return nil, err
 	}
-	hres, err := honest.Run()
-	if err != nil {
-		return nil, err
+	groups := runner.ByPoint(gridTrials, results)
+	collect := func(point string, f func(*core.Result) float64) []float64 {
+		var xs []float64
+		for _, r := range groups[point] {
+			xs = append(xs, f(r))
+		}
+		return xs
 	}
-	t.AddRow("chronos", "honest (96 benign)", hres.ChronosOffset.String(), hres.ChronosMaxOffset.String())
+	hFinal := describe(collect("honest", func(r *core.Result) float64 { return float64(r.ChronosOffset) }))
+	hMax := describe(collect("honest", func(r *core.Result) float64 { return float64(r.ChronosMaxOffset) }))
+	t.AddRow("chronos", "honest (96 benign)", fmtDur(hFinal), fmtDur(hMax))
 
-	poisoned, err := core.NewScenario(core.Config{
-		Seed: seed + 1, Mechanism: core.Defrag, PoisonQuery: 12,
-		SyncDuration: 2 * time.Hour, RunPlainNTP: true,
-	})
-	if err != nil {
-		return nil, err
-	}
-	pres, err := poisoned.Run()
-	if err != nil {
-		return nil, err
-	}
-	t.AddRow("chronos", "poisoned (44 benign + 89 malicious)", pres.ChronosOffset.String(), pres.ChronosMaxOffset.String())
-	t.AddRow("classic ntp (4 servers)", "poisoned (same resolver)", pres.PlainOffset.String(), "-")
+	pFinal := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosOffset) }))
+	pMax := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosMaxOffset) }))
+	t.AddRow("chronos", "poisoned (44 benign + 89 malicious)", fmtDur(pFinal), fmtDur(pMax))
+	plain := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.PlainOffset) }))
+	t.AddRow("classic ntp (4 servers)", "poisoned (same resolver)", fmtDur(plain), "-")
+
+	updates := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosStats.Updates) }))
+	resamples := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosStats.Resamples) }))
+	panics := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosStats.Panics) }))
 	t.Notes = append(t.Notes,
 		"paper: with ≥ 2/3 of the pool the attacker defeats both the normal path and panic mode; plain NTP falls with a single poisoning",
-		fmt.Sprintf("chronos stats (poisoned): updates=%d resamples=%d panics=%d",
-			pres.ChronosStats.Updates, pres.ChronosStats.Resamples, pres.ChronosStats.Panics),
+		fmt.Sprintf("chronos stats (poisoned): updates=%s resamples=%s panics=%s",
+			fmtCount(updates), fmtCount(resamples), fmtCount(panics)),
 	)
+	mcNote(t, trials)
 	return t, nil
+}
+
+// MitigationToggles are the §V defence settings as runner grid toggles:
+// none, the paper's resolver- and client-side caps, multi-resolver
+// consensus, and the persistent-hijack residual case that defeats them all.
+func MitigationToggles() []runner.Toggle {
+	return []runner.Toggle{
+		runner.NoToggle(),
+		{Name: "resolver-caps", Apply: func(c *core.Config) {
+			c.ResolverPolicy = mitigation.PaperResolverPolicy()
+		}},
+		{Name: "client-caps", Apply: func(c *core.Config) {
+			c.ClientPolicy = mitigation.PaperClientPolicy()
+		}},
+		{Name: "consensus-3", Apply: func(c *core.Config) {
+			c.Consensus = 3
+		}},
+		{Name: "all-vs-24h-hijack", Apply: func(c *core.Config) {
+			c.Mechanism = core.BGPHijackPersistent
+			c.PoisonQuery = 1
+			c.MaliciousServers = 120
+			c.ResolverPolicy = mitigation.PaperResolverPolicy()
+			c.ClientPolicy = mitigation.PaperClientPolicy()
+		}},
+	}
 }
 
 // Mitigations reproduces §V: the 4-address + TTL caps stop the single-shot
 // poisoning, multi-resolver consensus stops a single poisoned resolver,
 // but a persistent (24 h) DNS hijack still defeats everything.
-func Mitigations(seed int64) (*Table, error) {
+func Mitigations(seed int64, trials, parallel int) (*Table, error) {
+	if trials < 1 {
+		trials = 1
+	}
 	t := &Table{
 		ID:      "E7",
 		Title:   "§V mitigations — pool composition under each defence",
 		Columns: []string{"defence", "mechanism", "benign", "malicious", "attacker-fraction"},
 	}
-	type runCase struct {
-		name string
-		cfg  core.Config
+	names := []string{
+		"none (vulnerable)",
+		"resolver: ≤4 addrs, TTL ≤24h",
+		"client: ≤4 addrs, TTL ≤24h",
+		"consensus (3 resolvers)",
+		"all of the above",
 	}
-	cases := []runCase{
-		{"none (vulnerable)", core.Config{Seed: seed, Mechanism: core.Defrag, PoisonQuery: 12}},
-		{"resolver: ≤4 addrs, TTL ≤24h", core.Config{
-			Seed: seed + 1, Mechanism: core.Defrag, PoisonQuery: 12,
-			ResolverPolicy: mitigation.PaperResolverPolicy(),
-		}},
-		{"client: ≤4 addrs, TTL ≤24h", core.Config{
-			Seed: seed + 2, Mechanism: core.Defrag, PoisonQuery: 12,
-			ClientPolicy: mitigation.PaperClientPolicy(),
-		}},
-		{"consensus (3 resolvers)", core.Config{
-			Seed: seed + 3, Mechanism: core.Defrag, PoisonQuery: 12, Consensus: 3,
-		}},
-		{"all of the above", core.Config{
-			Seed: seed + 4, Mechanism: core.BGPHijackPersistent, PoisonQuery: 1,
-			MaliciousServers: 120,
-			ResolverPolicy:   mitigation.PaperResolverPolicy(),
-			ClientPolicy:     mitigation.PaperClientPolicy(),
-		}},
+	toggles := MitigationToggles()
+	var gridTrials []runner.Trial
+	for i, tog := range toggles {
+		for k := 0; k < trials; k++ {
+			cfg := core.Config{
+				Seed:      seed + int64(i) + int64(len(toggles))*int64(k),
+				Mechanism: core.Defrag, PoisonQuery: 12,
+			}
+			tog.Apply(&cfg)
+			gridTrials = append(gridTrials, runner.Trial{Index: len(gridTrials), Point: names[i], Config: cfg})
+		}
 	}
-	for _, c := range cases {
-		s, err := core.NewScenario(c.cfg)
-		if err != nil {
-			return nil, err
+	results, err := runner.Run(context.Background(), gridTrials, runner.Options{Parallel: parallel})
+	if err != nil {
+		return nil, err
+	}
+	groups := runner.ByPoint(gridTrials, results)
+	for _, name := range names {
+		rs := groups[name]
+		var benign, malicious, fraction []float64
+		for _, r := range rs {
+			benign = append(benign, float64(r.PoolBenign))
+			malicious = append(malicious, float64(r.PoolMalicious))
+			fraction = append(fraction, r.AttackerFraction)
 		}
-		res, err := s.Run()
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(c.name, res.Mechanism.String(), res.PoolBenign, res.PoolMalicious, res.AttackerFraction)
+		t.AddRow(name, rs[0].Mechanism.String(),
+			fmtCount(describe(benign)), fmtCount(describe(malicious)), fmtFrac(describe(fraction)))
 	}
 	t.Notes = append(t.Notes,
 		"paper §V: capping addresses and TTLs 'can be improved to limit the impact' ...",
 		"... 'however, even with these mitigations, the dependency on the insecure DNS still remains' — the 24 h hijack row",
 	)
+	mcNote(t, trials)
 	return t, nil
 }
 
 // All runs every experiment (E5, the measurement study, lives in
 // fragstudy.go).
-func All(seed int64) ([]*Table, error) {
+func All(seed int64, trials, parallel int) ([]*Table, error) {
 	var out []*Table
 	steps := []func() (*Table, error){
-		func() (*Table, error) { return Figure1(seed) },
-		func() (*Table, error) { return AttackWindow(seed) },
+		func() (*Table, error) { return Figure1(seed, trials, parallel) },
+		func() (*Table, error) { return AttackWindow(seed, trials, parallel) },
 		MaxAddresses,
 		ChronosSecurity,
-		func() (*Table, error) { return FragmentationStudy(seed) },
-		func() (*Table, error) { return TimeShift(seed) },
-		func() (*Table, error) { return Mitigations(seed) },
-		func() (*Table, error) { return Ablations(seed) },
+		func() (*Table, error) { return FragmentationStudy(seed, trials, parallel) },
+		func() (*Table, error) { return TimeShift(seed, trials, parallel) },
+		func() (*Table, error) { return Mitigations(seed, trials, parallel) },
+		func() (*Table, error) { return Ablations(seed, trials, parallel) },
 	}
 	for _, step := range steps {
 		tbl, err := step()

@@ -1,0 +1,215 @@
+// Package runner is the Monte-Carlo engine of the reproduction: it fans a
+// grid of core.Configs (seeds × mechanisms × poison-query indices ×
+// mitigation toggles) across a worker pool and streams the per-trial
+// core.Results into a stats.Aggregator.
+//
+// Every simulation is deterministic given its seed, and the aggregation is
+// an order-independent reduction keyed by trial index, so the aggregate of
+// a grid is bit-identical at any parallelism level — `-parallel 1` and
+// `-parallel 8` produce the same bytes.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"chronosntp/internal/core"
+	"chronosntp/internal/stats"
+)
+
+// Trial is one grid point instantiation: a fully resolved core.Config plus
+// the index that keys the order-independent reduction.
+type Trial struct {
+	Index  int         // position in the grid expansion; reduction key
+	Point  string      // grid-point label shared by all seeds of the point
+	Config core.Config // fully resolved scenario configuration
+}
+
+// Metric names under which Feed records a core.Result.
+const (
+	MetricAttackerFraction   = "attacker-fraction"
+	MetricPoolBenign         = "pool-benign"
+	MetricPoolMalicious      = "pool-malicious"
+	MetricPoolSize           = "pool-size"
+	MetricPoisonPlanted      = "poison-planted"
+	MetricChronosOffsetNs    = "chronos-offset-ns"
+	MetricChronosMaxOffsetNs = "chronos-max-offset-ns"
+	MetricPlainOffsetNs      = "plain-offset-ns"
+)
+
+// QueryMetric names the per-query pool-fraction series ("query-12/fraction"
+// etc.), the Figure-1 curve aggregated across trials.
+func QueryMetric(query int, field string) string {
+	return fmt.Sprintf("query-%02d/%s", query, field)
+}
+
+// Feed records every scalar measurement of res (and the per-query
+// Figure-1 series) into agg under t.Index.
+func Feed(agg *stats.Aggregator, t Trial, res *core.Result) {
+	agg.Observe(MetricAttackerFraction, t.Index, res.AttackerFraction)
+	agg.Observe(MetricPoolBenign, t.Index, float64(res.PoolBenign))
+	agg.Observe(MetricPoolMalicious, t.Index, float64(res.PoolMalicious))
+	agg.Observe(MetricPoolSize, t.Index, float64(res.PoolSize))
+	planted := 0.0
+	if res.PoisonPlanted {
+		planted = 1
+	}
+	agg.Observe(MetricPoisonPlanted, t.Index, planted)
+	agg.Observe(MetricChronosOffsetNs, t.Index, float64(res.ChronosOffset))
+	agg.Observe(MetricChronosMaxOffsetNs, t.Index, float64(res.ChronosMaxOffset))
+	agg.Observe(MetricPlainOffsetNs, t.Index, float64(res.PlainOffset))
+	for _, q := range res.PerQuery {
+		agg.Observe(QueryMetric(q.Query, "benign"), t.Index, float64(q.Benign))
+		agg.Observe(QueryMetric(q.Query, "malicious"), t.Index, float64(q.Malicious))
+		agg.Observe(QueryMetric(q.Query, "fraction"), t.Index, q.Fraction())
+	}
+}
+
+// Options tunes a Run.
+type Options struct {
+	// Parallel is the worker count; ≤0 means GOMAXPROCS.
+	Parallel int
+	// Execute runs one trial. Nil means the default scenario executor
+	// (core.NewScenario + Run); tests substitute stubs.
+	Execute func(Trial) (*core.Result, error)
+	// OnResult, if non-nil, streams each successful trial as it completes.
+	// Calls are serialized but arrive in completion order, not index order
+	// — pair it with a stats.Aggregator (keyed by Trial.Index) for
+	// order-independent reduction.
+	OnResult func(Trial, *core.Result)
+}
+
+// ExecuteScenario is the default trial executor: wire the scenario and run
+// it.
+func ExecuteScenario(t Trial) (*core.Result, error) {
+	s, err := core.NewScenario(t.Config)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Run executes every trial across the worker pool and returns the results
+// in trial order (results[i] belongs to trials[i]).
+//
+// On the first trial error the remaining trials are cancelled — workers
+// finish their in-flight trial and stop — and Run reports the failed
+// trial's error (the lowest-index failure observed, for determinism). If
+// ctx is cancelled externally, Run returns ctx.Err().
+func Run(ctx context.Context, trials []Trial, opts Options) ([]*core.Result, error) {
+	parallel := opts.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(trials) {
+		parallel = len(trials)
+	}
+	execute := opts.Execute
+	if execute == nil {
+		execute = ExecuteScenario
+	}
+	if len(trials) == 0 {
+		return nil, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]*core.Result, len(trials))
+	var (
+		mu       sync.Mutex
+		firstErr error
+		errPos   int
+	)
+	fail := func(pos int, err error) {
+		mu.Lock()
+		if firstErr == nil || pos < errPos {
+			firstErr, errPos = err, pos
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pos := range jobs {
+				t := trials[pos]
+				res, err := execute(t)
+				if err != nil {
+					fail(pos, fmt.Errorf("runner: trial %d (%s): %w", t.Index, t.Point, err))
+					continue
+				}
+				results[pos] = res
+				if opts.OnResult != nil {
+					mu.Lock()
+					opts.OnResult(t, res)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+feed:
+	for pos := range trials {
+		select {
+		case jobs <- pos:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// MonteCarlo runs the trials and streams every result into a fresh
+// aggregator via Feed. The returned results are in trial order; the
+// aggregator's reductions are bit-identical at any parallelism.
+func MonteCarlo(ctx context.Context, trials []Trial, parallel int) (*stats.Aggregator, []*core.Result, error) {
+	agg := stats.NewAggregator()
+	results, err := Run(ctx, trials, Options{
+		Parallel: parallel,
+		OnResult: func(t Trial, res *core.Result) { Feed(agg, t, res) },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return agg, results, nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) across the worker pool,
+// cancelling the remaining indices on the first error (lowest-index error
+// wins, as in Run). It is the scheduling core reused by experiment code
+// whose trials are not core.Configs (e.g. the E5 probe populations).
+func ForEach(ctx context.Context, n, parallel int, fn func(i int) error) error {
+	trials := make([]Trial, n)
+	for i := range trials {
+		trials[i] = Trial{Index: i, Point: fmt.Sprintf("foreach-%d", i)}
+	}
+	_, err := Run(ctx, trials, Options{
+		Parallel: parallel,
+		Execute: func(t Trial) (*core.Result, error) {
+			if err := fn(t.Index); err != nil {
+				return nil, err
+			}
+			return &core.Result{}, nil
+		},
+	})
+	return err
+}

@@ -1,0 +1,216 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chronosntp/internal/core"
+	"chronosntp/internal/stats"
+)
+
+// smallGrid is a fast but real grid: 2 mechanisms × 2 poison queries × 2
+// seeds of a reduced scenario (~3 ms per trial).
+func smallGrid() Grid {
+	return Grid{
+		Base: core.Config{
+			PoolQueries:      6,
+			BenignServers:    40,
+			MaliciousServers: 15,
+		},
+		Seeds:         Seeds(1, 2),
+		Mechanisms:    []core.Mechanism{core.Defrag, core.BGPHijack},
+		PoisonQueries: []int{2, 4},
+	}
+}
+
+func TestGridTrials(t *testing.T) {
+	trials := smallGrid().Trials()
+	if len(trials) != 8 {
+		t.Fatalf("trials = %d, want 8", len(trials))
+	}
+	for i, tr := range trials {
+		if tr.Index != i {
+			t.Errorf("trial %d has index %d", i, tr.Index)
+		}
+	}
+	// Consecutive indices are replicas of one point.
+	if trials[0].Point != trials[1].Point || trials[0].Config.Seed == trials[1].Config.Seed {
+		t.Errorf("replica layout broken: %+v / %+v", trials[0], trials[1])
+	}
+	if trials[1].Point == trials[2].Point {
+		t.Errorf("points 1 and 2 should differ: %q", trials[1].Point)
+	}
+	points := Points(trials)
+	if len(points) != 4 {
+		t.Errorf("points = %v, want 4", points)
+	}
+	if want := "mechanism=defrag-injection poison-query=2"; points[0] != want {
+		t.Errorf("point label = %q, want %q", points[0], want)
+	}
+}
+
+// TestRunDeterminism is the core guarantee: the same grid aggregates to
+// bit-identical summaries at -parallel 1 and -parallel 8, and the result
+// slices match element-wise.
+func TestRunDeterminism(t *testing.T) {
+	trials := smallGrid().Trials()
+
+	agg1, res1, err := MonteCarlo(context.Background(), trials, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg8, res8, err := MonteCarlo(context.Background(), trials, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res1) != len(trials) || len(res8) != len(trials) {
+		t.Fatalf("result counts: %d / %d, want %d", len(res1), len(res8), len(trials))
+	}
+	for i := range res1 {
+		if !reflect.DeepEqual(res1[i], res8[i]) {
+			t.Errorf("trial %d: parallel-1 and parallel-8 results differ:\n%+v\n%+v", i, res1[i], res8[i])
+		}
+	}
+
+	metrics1, metrics8 := agg1.Metrics(), agg8.Metrics()
+	if !reflect.DeepEqual(metrics1, metrics8) {
+		t.Fatalf("metric sets differ: %v vs %v", metrics1, metrics8)
+	}
+	for _, m := range metrics1 {
+		s1, err := agg1.Describe(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s8, err := agg8.Describe(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1 != s8 {
+			t.Errorf("%s: aggregate differs across parallelism: %+v vs %+v", m, s1, s8)
+		}
+	}
+
+	// Sanity: the attacked trials actually measured an attack.
+	frac, err := agg1.Describe(MetricAttackerFraction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac.Max <= 0 {
+		t.Errorf("no trial measured a nonzero attacker fraction: %+v", frac)
+	}
+}
+
+// TestRunCancellation injects a failing trial and asserts the pool aborts
+// early: the error surfaces and later trials never start.
+func TestRunCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	const n = 64
+	trials := make([]Trial, n)
+	for i := range trials {
+		trials[i] = Trial{Index: i, Point: "stub"}
+	}
+	var started atomic.Int64
+	_, err := Run(context.Background(), trials, Options{
+		Parallel: 2,
+		Execute: func(tr Trial) (*core.Result, error) {
+			started.Add(1)
+			if tr.Index == 3 {
+				return nil, boom
+			}
+			time.Sleep(time.Millisecond)
+			return &core.Result{}, nil
+		},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "trial 3") {
+		t.Errorf("error does not identify the trial: %v", err)
+	}
+	if got := started.Load(); got >= n {
+		t.Errorf("all %d trials ran despite the early failure", got)
+	}
+}
+
+// TestRunExternalCancel covers a caller-driven abort.
+func TestRunExternalCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	trials := make([]Trial, 32)
+	for i := range trials {
+		trials[i] = Trial{Index: i, Point: "stub"}
+	}
+	var once sync.Once
+	_, err := Run(ctx, trials, Options{
+		Parallel: 2,
+		Execute: func(Trial) (*core.Result, error) {
+			once.Do(cancel)
+			return &core.Result{}, nil
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunStreamsInOrderIndependentWay asserts the OnResult stream, fed
+// into an aggregator keyed by trial index, reduces identically however the
+// workers interleave.
+func TestRunStreamsResults(t *testing.T) {
+	trials := make([]Trial, 16)
+	for i := range trials {
+		trials[i] = Trial{Index: i, Point: "stub"}
+	}
+	exec := func(tr Trial) (*core.Result, error) {
+		return &core.Result{AttackerFraction: float64(tr.Index)}, nil
+	}
+	agg := stats.NewAggregator()
+	_, err := Run(context.Background(), trials, Options{
+		Parallel: 8,
+		Execute:  exec,
+		OnResult: func(tr Trial, res *core.Result) {
+			agg.Observe(MetricAttackerFraction, tr.Index, res.AttackerFraction)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := agg.Values(MetricAttackerFraction)
+	if len(vals) != len(trials) {
+		t.Fatalf("streamed %d values, want %d", len(vals), len(trials))
+	}
+	for i, v := range vals {
+		if v != float64(i) {
+			t.Errorf("index-sorted value %d = %v", i, v)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var hits atomic.Int64
+	if err := ForEach(context.Background(), 20, 4, func(i int) error {
+		hits.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 20 {
+		t.Errorf("hits = %d, want 20", hits.Load())
+	}
+	boom := errors.New("boom")
+	err := ForEach(context.Background(), 20, 4, func(i int) error {
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Summary is the descriptive aggregate of a metric across Monte-Carlo
+// trials: mean, sample standard deviation, the half-width of the normal
+// 95% confidence interval of the mean, and the observed extremes.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1); 0 for a single trial
+	CI95   float64 // 1.96·σ/√n half-width; 0 for a single trial
+	Min    float64
+	Max    float64
+}
+
+// z95 is the two-sided 95% quantile of the standard normal distribution.
+const z95 = 1.959963984540054
+
+// Describe computes the Summary of xs in the given order. The summation
+// order is exactly the slice order, so identical slices produce
+// bit-identical summaries.
+func Describe(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmptyInput
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) >= 2 {
+		sq := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			sq += d * d
+		}
+		s.StdDev = math.Sqrt(sq / float64(len(xs)-1))
+		s.CI95 = z95 * s.StdDev / math.Sqrt(float64(len(xs)))
+	}
+	return s, nil
+}
+
+// String renders "mean ± ci95" at 3 decimals (just the mean for a single
+// trial).
+func (s Summary) String() string {
+	if s.N <= 1 {
+		return fmt.Sprintf("%.3f", s.Mean)
+	}
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.CI95)
+}
+
+// sample is one (trial index, value) observation of a metric.
+type sample struct {
+	idx int
+	v   float64
+}
+
+// Aggregator accumulates per-trial metric observations from concurrent
+// producers and reduces them order-independently: observations may arrive
+// in any order, but every reduction first sorts by trial index, so the
+// aggregate is bit-identical regardless of the parallelism (and hence
+// completion order) of the producers.
+type Aggregator struct {
+	mu     sync.Mutex
+	series map[string][]sample
+}
+
+// NewAggregator returns an empty Aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{series: make(map[string][]sample)}
+}
+
+// Observe records one value of metric for the given trial index. Safe for
+// concurrent use.
+func (a *Aggregator) Observe(metric string, trialIndex int, v float64) {
+	a.mu.Lock()
+	a.series[metric] = append(a.series[metric], sample{idx: trialIndex, v: v})
+	a.mu.Unlock()
+}
+
+// Values returns the observations of metric sorted by trial index
+// (observation order for equal indices). A nil slice means the metric was
+// never observed.
+func (a *Aggregator) Values(metric string) []float64 {
+	a.mu.Lock()
+	ss := append([]sample(nil), a.series[metric]...)
+	a.mu.Unlock()
+	sort.SliceStable(ss, func(i, j int) bool { return ss[i].idx < ss[j].idx })
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]float64, len(ss))
+	for i, s := range ss {
+		out[i] = s.v
+	}
+	return out
+}
+
+// Describe reduces metric to its Summary over the trial-index-sorted
+// observations.
+func (a *Aggregator) Describe(metric string) (Summary, error) {
+	return Describe(a.Values(metric))
+}
+
+// Metrics lists the observed metric names, sorted.
+func (a *Aggregator) Metrics() []string {
+	a.mu.Lock()
+	out := make([]string, 0, len(a.series))
+	for m := range a.series {
+		out = append(out, m)
+	}
+	a.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
