@@ -12,6 +12,7 @@ import (
 	"chronosntp/internal/core"
 	"chronosntp/internal/dnswire"
 	"chronosntp/internal/eval"
+	"chronosntp/internal/fleet"
 	"chronosntp/internal/mitigation"
 	"chronosntp/internal/runner"
 	"chronosntp/internal/simnet"
@@ -290,6 +291,44 @@ func BenchmarkRunnerParallelism(b *testing.B) {
 			elapsed := time.Since(start)
 			b.ReportMetric(float64(len(trials)*b.N)/elapsed.Seconds(), "trials/sec")
 			b.ReportMetric(float64(len(trials)), "trials/grid")
+		})
+	}
+}
+
+// BenchmarkFleetScale measures the population engine's throughput
+// (clients/sec) at 1k, 10k and 100k clients. Fan-out is Zipf with one
+// poisoned resolver; the pool-generation horizon is reduced to 6 hourly
+// queries so a single iteration stays in benchmark range. Memory stays
+// ~O(clients): every shard is measured and released as it completes.
+func BenchmarkFleetScale(b *testing.B) {
+	sizes := []struct{ clients, resolvers int }{
+		{1_000, 10},
+		{10_000, 32},
+		{100_000, 100},
+	}
+	for _, sz := range sizes {
+		cfg := fleet.Config{
+			Seed:          1,
+			Clients:       sz.clients,
+			Resolvers:     sz.resolvers,
+			Poisoned:      1,
+			PoolQueries:   6,
+			PoisonQuery:   2,
+			BenignServers: 120, MaliciousServers: 60,
+		}
+		b.Run(fmt.Sprintf("clients=%d", sz.clients), func(b *testing.B) {
+			var subverted float64
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := fleet.Run(context.Background(), cfg, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				subverted = res.SubvertedFraction
+			}
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(sz.clients*b.N)/elapsed.Seconds(), "clients/sec")
+			b.ReportMetric(subverted, "subverted-fraction")
 		})
 	}
 }

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1|E2|E3|E4|E5|E6|E7|E8]
+//	attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1..E9]
 //	attacksim [-seed N] [-trials N] [-parallel N] -sweep mechanism,poisonquery[,mitigation]
+//	attacksim [-seed N] [-parallel N] -fleet [-clients N] [-resolvers N] [-poisoned N]
 //
 // With -trials > 1 every scenario-backed experiment becomes a Monte-Carlo
 // run: each number is reported as mean ± 95% CI across independently
@@ -14,100 +15,212 @@
 // -sweep runs the internal/runner grid engine directly over the named
 // dimensions (any comma-separated subset of mechanism, poisonquery,
 // mitigation) and prints one aggregate row per grid point.
+//
+// -fleet runs a single population-scale simulation (internal/fleet):
+// -clients behind -resolvers shared caches with -poisoned of them
+// attacked, printing the per-shard and population tables. -clients and
+// -resolvers also size the E9 sweep.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 
 	"chronosntp/internal/core"
 	"chronosntp/internal/eval"
+	"chronosntp/internal/fleet"
 	"chronosntp/internal/runner"
 	"chronosntp/internal/stats"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "attacksim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	seed := flag.Int64("seed", 1, "deterministic simulation seed (first of the replica block)")
-	experiment := flag.String("experiment", "all", "experiment id (E1..E8) or 'all'")
-	trials := flag.Int("trials", 1, "Monte-Carlo replicas per scenario (1 = the paper's single-seed tables)")
-	parallel := flag.Int("parallel", 0, "worker count for the trial pool (0 = GOMAXPROCS)")
-	sweep := flag.String("sweep", "", "comma-separated grid dimensions to sweep: mechanism,poisonquery,mitigation")
-	flag.Parse()
+// options collects the parsed command line.
+type options struct {
+	seed       int64
+	experiment string
+	trials     int
+	parallel   int
+	sweep      string
 
-	if *trials < 1 {
-		return fmt.Errorf("-trials must be ≥ 1, got %d", *trials)
+	fleet     bool
+	clients   int
+	resolvers int
+	poisoned  int
+}
+
+func parseFlags(args []string) (options, error) {
+	fs := flag.NewFlagSet("attacksim", flag.ContinueOnError)
+	var o options
+	fs.Int64Var(&o.seed, "seed", 1, "deterministic simulation seed (first of the replica block)")
+	fs.StringVar(&o.experiment, "experiment", "all", "experiment id (E1..E9) or 'all'")
+	fs.IntVar(&o.trials, "trials", 1, "Monte-Carlo replicas per scenario (1 = the paper's single-seed tables)")
+	fs.IntVar(&o.parallel, "parallel", 0, "worker count for the trial pool (0 = GOMAXPROCS)")
+	fs.StringVar(&o.sweep, "sweep", "", "comma-separated grid dimensions to sweep: "+strings.Join(sweepAxisNames(), ", "))
+	fs.BoolVar(&o.fleet, "fleet", false, "run one population-scale fleet simulation instead of an experiment")
+	fs.IntVar(&o.clients, "clients", 0, "fleet client population (0 = default 1000; also sizes E9)")
+	fs.IntVar(&o.resolvers, "resolvers", 0, "fleet shared-resolver count (0 = default 10; also sizes E9)")
+	fs.IntVar(&o.poisoned, "poisoned", 1, "resolvers the -fleet attacker poisons (largest fan-out first)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
 	}
-	if *sweep != "" {
-		return runSweep(*sweep, *seed, *trials, *parallel)
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if o.trials < 1 {
+		return o, fmt.Errorf("-trials must be ≥ 1, got %d", o.trials)
+	}
+	if o.clients < 0 || o.resolvers < 0 || o.poisoned < 0 {
+		return o, fmt.Errorf("-clients, -resolvers and -poisoned must be ≥ 0")
+	}
+	// The three modes (-experiment, -sweep, -fleet) are mutually
+	// exclusive, and mode-specific flags error rather than being silently
+	// discarded.
+	if o.fleet && set["sweep"] {
+		return o, fmt.Errorf("-fleet and -sweep are mutually exclusive")
+	}
+	if o.fleet && set["experiment"] {
+		return o, fmt.Errorf("-fleet and -experiment are mutually exclusive (E9 is the fleet sweep)")
+	}
+	if o.sweep != "" && set["experiment"] {
+		return o, fmt.Errorf("-sweep and -experiment are mutually exclusive")
+	}
+	if o.fleet && o.trials > 1 {
+		return o, fmt.Errorf("-fleet runs a single population simulation; use -experiment E9 -trials %d for replicas", o.trials)
+	}
+	if set["poisoned"] && !o.fleet {
+		return o, fmt.Errorf("-poisoned only applies to -fleet (the E9 sweep varies the poisoned count itself)")
+	}
+	sizeable := o.fleet || (o.sweep == "" && (o.experiment == "E9" || o.experiment == "all"))
+	if (set["clients"] || set["resolvers"]) && !sizeable {
+		return o, fmt.Errorf("-clients/-resolvers only apply to -fleet, -experiment E9 or -experiment all")
+	}
+	return o, nil
+}
+
+func run(w io.Writer, args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if o.fleet {
+		return runFleet(w, o)
+	}
+	if o.sweep != "" {
+		return runSweep(w, o.sweep, o.seed, o.trials, o.parallel)
 	}
 
 	runners := map[string]func() (*eval.Table, error){
-		"E1": func() (*eval.Table, error) { return eval.Figure1(*seed, *trials, *parallel) },
-		"E2": func() (*eval.Table, error) { return eval.AttackWindow(*seed, *trials, *parallel) },
+		"E1": func() (*eval.Table, error) { return eval.Figure1(o.seed, o.trials, o.parallel) },
+		"E2": func() (*eval.Table, error) { return eval.AttackWindow(o.seed, o.trials, o.parallel) },
 		"E3": eval.MaxAddresses,
 		"E4": eval.ChronosSecurity,
-		"E5": func() (*eval.Table, error) { return eval.FragmentationStudy(*seed, *trials, *parallel) },
-		"E6": func() (*eval.Table, error) { return eval.TimeShift(*seed, *trials, *parallel) },
-		"E7": func() (*eval.Table, error) { return eval.Mitigations(*seed, *trials, *parallel) },
-		"E8": func() (*eval.Table, error) { return eval.Ablations(*seed, *trials, *parallel) },
+		"E5": func() (*eval.Table, error) { return eval.FragmentationStudy(o.seed, o.trials, o.parallel) },
+		"E6": func() (*eval.Table, error) { return eval.TimeShift(o.seed, o.trials, o.parallel) },
+		"E7": func() (*eval.Table, error) { return eval.Mitigations(o.seed, o.trials, o.parallel) },
+		"E8": func() (*eval.Table, error) { return eval.Ablations(o.seed, o.trials, o.parallel) },
+		"E9": func() (*eval.Table, error) {
+			return eval.FleetStudy(o.seed, o.trials, o.parallel, o.clients, o.resolvers)
+		},
 	}
-	if *experiment == "all" {
-		tables, err := eval.All(*seed, *trials, *parallel)
+	if o.experiment == "all" {
+		tables, err := eval.All(o.seed, o.trials, o.parallel, o.clients, o.resolvers)
 		if err != nil {
 			return err
 		}
 		for _, t := range tables {
-			fmt.Println(t.Render())
+			fmt.Fprintln(w, t.Render())
 		}
 		return nil
 	}
-	r, ok := runners[*experiment]
+	r, ok := runners[o.experiment]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want E1..E8 or all)", *experiment)
+		return fmt.Errorf("unknown experiment %q (want E1..E9 or all)", o.experiment)
 	}
 	t, err := r()
 	if err != nil {
 		return err
 	}
-	fmt.Println(t.Render())
+	fmt.Fprintln(w, t.Render())
 	return nil
 }
 
-// runSweep expands the requested dimensions into a runner.Grid, fans it
-// across the worker pool, and prints one aggregate row per grid point.
-func runSweep(dims string, seed int64, trials, parallel int) error {
+// sweepAxes maps every valid -sweep dimension to its grid expansion.
+var sweepAxes = map[string]func(*runner.Grid){
+	"mechanism": func(g *runner.Grid) {
+		g.Mechanisms = []core.Mechanism{
+			core.NoAttack, core.Defrag, core.BGPHijack, core.BGPHijackPersistent,
+		}
+	},
+	"poisonquery": func(g *runner.Grid) {
+		for q := 1; q <= 24; q++ {
+			g.PoisonQueries = append(g.PoisonQueries, q)
+		}
+	},
+	"mitigation": func(g *runner.Grid) {
+		g.Toggles = eval.MitigationToggles()
+	},
+}
+
+// sweepAxisNames lists the valid -sweep dimensions, sorted.
+func sweepAxisNames() []string {
+	names := make([]string, 0, len(sweepAxes))
+	for name := range sweepAxes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parseSweep validates every requested dimension up front — before any
+// trial runs — so a misspelled axis fails with the list of valid ones
+// instead of silently sweeping nothing.
+func parseSweep(dims string, seed int64, trials int) (runner.Grid, error) {
 	grid := runner.Grid{
 		Base:  core.Config{Mechanism: core.Defrag, PoisonQuery: 12},
 		Seeds: runner.Seeds(seed, trials),
 	}
+	requested := 0
 	for _, dim := range strings.Split(dims, ",") {
-		switch strings.TrimSpace(dim) {
-		case "mechanism":
-			grid.Mechanisms = []core.Mechanism{
-				core.NoAttack, core.Defrag, core.BGPHijack, core.BGPHijackPersistent,
-			}
-		case "poisonquery":
-			for q := 1; q <= 24; q++ {
-				grid.PoisonQueries = append(grid.PoisonQueries, q)
-			}
-		case "mitigation":
-			grid.Toggles = eval.MitigationToggles()
-		case "":
-		default:
-			return fmt.Errorf("unknown sweep dimension %q (want mechanism, poisonquery, mitigation)", dim)
+		dim = strings.TrimSpace(dim)
+		if dim == "" {
+			continue
 		}
+		expand, ok := sweepAxes[dim]
+		if !ok {
+			return grid, fmt.Errorf("unknown sweep dimension %q (valid axes: %s)",
+				dim, strings.Join(sweepAxisNames(), ", "))
+		}
+		expand(&grid)
+		requested++
 	}
+	if requested == 0 {
+		return grid, fmt.Errorf("-sweep lists no dimensions (valid axes: %s)",
+			strings.Join(sweepAxisNames(), ", "))
+	}
+	return grid, nil
+}
 
+// runSweep expands the requested dimensions into a runner.Grid, fans it
+// across the worker pool, and prints one aggregate row per grid point.
+func runSweep(w io.Writer, dims string, seed int64, trials, parallel int) error {
+	grid, err := parseSweep(dims, seed, trials)
+	if err != nil {
+		return err
+	}
 	gridTrials := grid.Trials()
 	results, err := runner.Run(context.Background(), gridTrials, runner.Options{Parallel: parallel})
 	if err != nil {
@@ -144,7 +257,47 @@ func runSweep(dims string, seed int64, trials, parallel int) error {
 		"± values are normal 95% CIs of the mean across the seed replicas of each grid point",
 		"aggregates are bit-identical at any -parallel value (order-independent reduction keyed by trial index)",
 	)
-	fmt.Println(t.Render())
+	fmt.Fprintln(w, t.Render())
+	return nil
+}
+
+// runFleet executes one population-scale simulation and prints the
+// per-shard and population tables.
+func runFleet(w io.Writer, o options) error {
+	cfg := fleet.Config{
+		Seed:      o.seed,
+		Clients:   o.clients,
+		Resolvers: o.resolvers,
+		Poisoned:  o.poisoned,
+	}
+	res, err := fleet.Run(context.Background(), cfg, o.parallel)
+	if err != nil {
+		return err
+	}
+	shardTable := &eval.Table{
+		ID: "FLEET",
+		Title: fmt.Sprintf("fleet run — %d clients (%d chronos + %d classic) behind %d resolvers, %d poisoned via %s",
+			res.TotalClients, res.ChronosClients, res.ClassicClients,
+			res.Config.Resolvers, res.PoisonedResolvers, res.Config.Mechanism),
+		Columns: []string{
+			"shard", "clients", "poisoned", "planted",
+			"chronos-subverted", "chronos-shifted", "classic-subverted", "cache-hits",
+		},
+	}
+	for _, s := range res.Shards {
+		shardTable.AddRow(s.Shard, s.Clients, s.Poisoned, s.Planted,
+			fmt.Sprintf("%d/%d", s.ChronosSubverted, s.Chronos),
+			fmt.Sprintf("%d/%d", s.ChronosShifted, s.Chronos),
+			fmt.Sprintf("%d/%d", s.ClassicSubverted, s.Classic),
+			s.ResolverStats.CacheHits)
+	}
+	shardTable.Notes = append(shardTable.Notes,
+		fmt.Sprintf("population: subverted %.3f, shifted>100ms %.3f, amplification %.1f clients per poisoned resolver",
+			res.SubvertedFraction, res.ShiftedFraction, res.Amplification),
+		fmt.Sprintf("mean attacker pool fraction across chronos clients: %.3f", res.MeanAttackerFraction),
+		"shards are independent seeded simulations; the reduction is bit-identical at any -parallel value",
+	)
+	fmt.Fprintln(w, shardTable.Render())
 	return nil
 }
 

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSweepRejectsUnknownAxis(t *testing.T) {
+	for _, dims := range []string{"mechansim", "poisonquery,typo", "fleet"} {
+		_, err := parseSweep(dims, 1, 1)
+		if err == nil {
+			t.Fatalf("parseSweep(%q) accepted an unknown axis", dims)
+		}
+		for _, axis := range []string{"mechanism", "poisonquery", "mitigation"} {
+			if !strings.Contains(err.Error(), axis) {
+				t.Fatalf("parseSweep(%q) error %q does not list valid axis %q", dims, err, axis)
+			}
+		}
+	}
+}
+
+func TestParseSweepRejectsEmpty(t *testing.T) {
+	for _, dims := range []string{"", " , ,"} {
+		if _, err := parseSweep(dims, 1, 1); err == nil {
+			t.Fatalf("parseSweep(%q) accepted an empty axis list", dims)
+		}
+	}
+}
+
+func TestParseSweepExpandsAxes(t *testing.T) {
+	grid, err := parseSweep(" mechanism , poisonquery,mitigation", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid.Mechanisms) != 4 || len(grid.PoisonQueries) != 24 || len(grid.Toggles) == 0 {
+		t.Fatalf("axes not expanded: %d mechanisms, %d queries, %d toggles",
+			len(grid.Mechanisms), len(grid.PoisonQueries), len(grid.Toggles))
+	}
+	if len(grid.Seeds) != 2 || grid.Seeds[0] != 3 {
+		t.Fatalf("seeds not threaded: %v", grid.Seeds)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(&strings.Builder{}, []string{"-trials", "0"}); err == nil {
+		t.Fatal("accepted -trials 0")
+	}
+	if err := run(&strings.Builder{}, []string{"-fleet", "-clients", "-5"}); err == nil {
+		t.Fatal("accepted negative -clients")
+	}
+	if err := run(&strings.Builder{}, []string{"-fleet", "-trials", "4"}); err == nil || !strings.Contains(err.Error(), "E9") {
+		t.Fatalf("-fleet -trials should point at E9: %v", err)
+	}
+	if err := run(&strings.Builder{}, []string{"-h"}); err != nil {
+		t.Fatalf("-h should exit cleanly, got %v", err)
+	}
+	for _, args := range [][]string{
+		{"-fleet", "-sweep", "mechanism"},
+		{"-fleet", "-experiment", "E1"},
+		{"-sweep", "mechanism", "-experiment", "E1"},
+		{"-experiment", "E9", "-poisoned", "3"},
+		{"-sweep", "mitigation", "-clients", "99999"},
+		{"-experiment", "E1", "-clients", "5000"},
+	} {
+		if err := run(&strings.Builder{}, args); err == nil {
+			t.Fatalf("conflicting flags %v were silently accepted", args)
+		}
+	}
+	if err := run(&strings.Builder{}, []string{"-experiment", "E42"}); err == nil || !strings.Contains(err.Error(), "E1..E9") {
+		t.Fatalf("unknown experiment error unhelpful: %v", err)
+	}
+	if err := run(&strings.Builder{}, []string{"-sweep", "nope"}); err == nil || !strings.Contains(err.Error(), "valid axes") {
+		t.Fatalf("unknown sweep axis error unhelpful: %v", err)
+	}
+}
+
+func TestRunFleetEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, []string{"-fleet", "-clients", "60", "-resolvers", "3", "-poisoned", "1", "-seed", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== FLEET:", "amplification", "shard"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -21,8 +21,24 @@
 // experiment can report mean ± 95% CI across replicas — bit-identically
 // at any parallelism level.
 //
+// internal/fleet scales the reproduction from one client to a
+// population: N shared caching resolvers with a Zipf- or
+// uniformly-distributed client fan-out (Chronos pool generation plus
+// classic NTP bootstraps behind every cache), the attacker poisoning a
+// configurable subset of resolvers through the existing mechanisms. Each
+// resolver shard is an independent seeded simulation fanned across the
+// runner's worker pool and reduced in shard order, so fleet results are
+// bit-identical at any parallelism; clients share their resolver through
+// a direct in-process handle while the resolver's upstream traffic — the
+// attack surface — stays on the simulated wire. The E9 experiment sweeps
+// poisoned-resolver count × fan-out × §V mitigations and reports the
+// population subverted/shifted fractions and the cache-amplification
+// factor (clients subverted per poisoned resolver).
+//
 // Entry points: cmd/attacksim runs any experiment (-trials N -parallel N
-// for Monte-Carlo mode, -sweep for grid sweeps); examples/ hold runnable
+// for Monte-Carlo mode, -sweep for grid sweeps, -fleet -clients N
+// -resolvers N for a population run); examples/ hold runnable
 // walkthroughs; bench_test.go regenerates every paper artefact as a
-// benchmark and tracks the runner's trials/sec.
+// benchmark and tracks the runner's trials/sec and the fleet engine's
+// clients/sec.
 package chronosntp

@@ -136,12 +136,12 @@ type PoolEntry struct {
 	QueryIdx int // which pool-generation query produced it (1-based)
 }
 
-// Lookuper is the client's DNS dependency: *dnsresolver.Stub satisfies it,
-// and the mitigation package substitutes a multi-resolver consensus
+// Lookuper is the client's DNS dependency (an alias of the shared
+// dnsresolver.Lookuper): *dnsresolver.Stub satisfies it over the wire, a
+// *dnsresolver.Resolver serves as the fleet's direct shared handle, and
+// the mitigation package substitutes a multi-resolver consensus
 // implementation (the paper's recommended direction, [12]).
-type Lookuper interface {
-	Lookup(name string, qtype dnswire.Type, cb dnsresolver.Callback)
-}
+type Lookuper = dnsresolver.Lookuper
 
 // Client is a Chronos NTP client on a simulated host.
 type Client struct {

@@ -20,11 +20,9 @@ import (
 	"chronosntp/internal/chronos"
 	"chronosntp/internal/clock"
 	"chronosntp/internal/dnsresolver"
-	"chronosntp/internal/dnsserver"
 	"chronosntp/internal/dnswire"
 	"chronosntp/internal/mitigation"
 	"chronosntp/internal/ntpclient"
-	"chronosntp/internal/ntpserver"
 	"chronosntp/internal/simnet"
 )
 
@@ -184,9 +182,7 @@ type Scenario struct {
 	cfg Config
 	net *simnet.Network
 
-	honestIPs []simnet.IP
-	evilIPs   []simnet.IP
-	evilSet   map[simnet.IP]bool
+	backbone *Backbone
 
 	resolvers []*dnsresolver.Resolver
 	chronosC  *chronos.Client
@@ -195,7 +191,6 @@ type Scenario struct {
 	poisoner *attack.FragPoisoner
 	hijacker *attack.BGPHijacker
 
-	rampStart     time.Time
 	poisonPlanted bool
 	plantErr      error
 }
@@ -206,65 +201,18 @@ var ErrScenario = errors.New("core: scenario setup")
 // NewScenario wires the topology. Run executes it.
 func NewScenario(cfg Config) (*Scenario, error) {
 	cfg = cfg.withDefaults()
-	s := &Scenario{cfg: cfg, evilSet: make(map[simnet.IP]bool)}
+	s := &Scenario{cfg: cfg}
 	s.net = simnet.New(simnet.Config{Seed: cfg.Seed})
 
-	// NTP server population. Pool servers are themselves synchronised,
-	// so their absolute error stays small (ms offsets, negligible drift)
-	// even across the 24-hour pool-generation horizon.
 	var err error
-	_, s.honestIPs, err = ntpserver.Farm(s.net, honestBase, cfg.BenignServers, 2*time.Millisecond, 0.2)
-	if err != nil {
-		return nil, fmt.Errorf("%w: honest farm: %v", ErrScenario, err)
-	}
-	ramp := ntpserver.ShiftFunc(func(now time.Time) time.Duration {
-		if s.rampStart.IsZero() || now.Before(s.rampStart) {
-			return 0
-		}
-		rounds := int64(now.Sub(s.rampStart)/cfg.SyncInterval) + 1
-		return time.Duration(rounds) * cfg.RampPerRound
+	s.backbone, err = BuildBackbone(s.net, BackboneConfig{
+		BenignServers:    cfg.BenignServers,
+		MaliciousServers: cfg.MaliciousServers,
+		RampPerRound:     cfg.RampPerRound,
+		SyncInterval:     cfg.SyncInterval,
 	})
-	_, s.evilIPs, err = ntpserver.MaliciousFarm(s.net, evilBase, cfg.MaliciousServers, ramp)
 	if err != nil {
-		return nil, fmt.Errorf("%w: malicious farm: %v", ErrScenario, err)
-	}
-	for _, ip := range s.evilIPs {
-		s.evilSet[ip] = true
-	}
-
-	// DNS hierarchy: root delegates ntp.org; the ntp.org server hosts the
-	// rotating pool zone.
-	rootHost, err := s.net.AddHost(rootIP)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
-	}
-	rootSrv, err := dnsserver.New(rootHost)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
-	}
-	rootZone := dnsserver.NewDelegatingZone("")
-	rootZone.Delegate(dnsserver.Delegation{
-		Child: "ntp.org", NSTTL: nsTTL,
-		Glue: []dnsserver.NSGlue{{Name: "ns1.ntp.org", IP: ntpOrgIP, TTL: nsTTL}},
-	})
-	if err := rootSrv.AddZone("", rootZone); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
-	}
-
-	ntpHost, err := s.net.AddHost(ntpOrgIP)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
-	}
-	ntpSrv, err := dnsserver.New(ntpHost)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
-	}
-	pool, err := dnsserver.NewPoolZone(dnsserver.PoolConfig{Name: PoolName}, s.net.Now(), s.honestIPs)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
-	}
-	if err := ntpSrv.AddZone(PoolName, pool); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+		return nil, err
 	}
 
 	// Resolvers: one by default, several for the consensus defence.
@@ -275,16 +223,9 @@ func NewScenario(cfg Config) (*Scenario, error) {
 	for i := 0; i < resolverCount; i++ {
 		ip := resolverBase
 		ip[3] += byte(i)
-		rh, err := s.net.AddHost(ip)
+		res, err := s.backbone.NewResolver(ip, cfg.ResolverPolicy)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
-		}
-		res, err := dnsresolver.New(rh, dnsresolver.Config{
-			EDNSSize: 4096,
-			Accept:   cfg.ResolverPolicy,
-		}, []dnsresolver.Hint{{Zone: "", Addr: simnet.Addr{IP: rootIP, Port: 53}}})
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+			return nil, err
 		}
 		s.resolvers = append(s.resolvers, res)
 	}
@@ -327,37 +268,16 @@ func NewScenario(cfg Config) (*Scenario, error) {
 	}
 
 	// Attacker infrastructure.
-	if cfg.Mechanism != NoAttack {
-		attHost, err := s.net.AddHost(attackerIP)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrScenario, err)
-		}
-		forge := &attack.ResponseForge{PoolName: PoolName, Servers: s.evilIPs, TTL: cfg.ForgedTTL}
-		switch cfg.Mechanism {
-		case Defrag:
-			attNSHost, err := s.net.AddHost(attackerNSIP)
-			if err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrScenario, err)
-			}
-			if _, err := attack.NewMaliciousNameserver(attNSHost, "ntp.org", forge); err != nil {
-				return nil, fmt.Errorf("%w: %v", ErrScenario, err)
-			}
-			s.poisoner = attack.NewFragPoisoner(attHost, attack.FragPoisonerConfig{
-				VictimResolver: s.resolvers[0].Addr().IP,
-				TargetServer:   simnet.Addr{IP: rootIP, Port: 53},
-				GlueName:       "ns1.ntp.org",
-				AttackerNS:     attackerNSIP,
-				ForcedMTU:      68,
-				ResolverEDNS:   4096,
-			})
-		case BGPHijack, BGPHijackPersistent:
-			s.hijacker = attack.NewBGPHijacker(s.net, forge, simnet.IPv4(198, 51, 100, 0), 24)
-			if cfg.Mechanism == BGPHijackPersistent {
-				s.hijacker.PerResponse = 4
-				forge.TTL = 150 * time.Second // policy-compliant stealth mode
-			}
-		}
+	att, err := InstallAttacker(s.net, AttackerConfig{
+		Mechanism:      cfg.Mechanism,
+		Servers:        s.backbone.EvilIPs,
+		ForgedTTL:      cfg.ForgedTTL,
+		VictimResolver: s.resolvers[0].Addr().IP,
+	})
+	if err != nil {
+		return nil, err
 	}
+	s.poisoner, s.hijacker = att.Poisoner, att.Hijacker
 	return s, nil
 }
 
@@ -439,7 +359,7 @@ func (s *Scenario) Run() (*Result, error) {
 		perQuery[i].Query = i + 1
 	}
 	for _, e := range entries {
-		evil := s.evilSet[e.IP]
+		evil := s.backbone.IsMalicious(e.IP)
 		if evil {
 			res.PoolMalicious++
 		} else {
@@ -462,7 +382,7 @@ func (s *Scenario) Run() (*Result, error) {
 	// classic client bootstraps now (its single DNS resolution served
 	// from whatever the shared cache holds).
 	if cfg.SyncDuration > 0 && res.PoolSize > 0 {
-		s.rampStart = s.net.Now()
+		s.backbone.StartRamp()
 		if s.plainC != nil {
 			s.plainC.Start(nil)
 		}

@@ -1,0 +1,44 @@
+package dnsresolver
+
+import (
+	"chronosntp/internal/dnswire"
+	"chronosntp/internal/simnet"
+)
+
+// Lookuper is the DNS dependency of the simulated clients. Two
+// implementations matter:
+//
+//   - *Stub: the wire path — one UDP query/response exchange with the
+//     resolver per lookup, exactly what a real stub resolver does;
+//   - *Resolver: the direct in-process handle — the lookup enters the
+//     resolver's cache/iteration machinery without the client↔resolver
+//     UDP round trip. Fleet-scale experiments use it so thousands of
+//     clients can share one resolver cache at O(1) cost per cached
+//     lookup while the resolver's *upstream* traffic (the attack
+//     surface) stays on the simulated wire.
+type Lookuper interface {
+	Lookup(name string, qtype dnswire.Type, cb Callback)
+}
+
+var (
+	_ Lookuper = (*Stub)(nil)
+	_ Lookuper = (*Resolver)(nil)
+)
+
+// LookupA resolves name to IPv4 addresses through any Lookuper — the
+// convenience NTP clients use for bootstrap.
+func LookupA(l Lookuper, name string, cb func(ips []simnet.IP, err error)) {
+	l.Lookup(name, dnswire.TypeA, func(res Result) {
+		if res.Err != nil {
+			cb(nil, res.Err)
+			return
+		}
+		var ips []simnet.IP
+		for _, rr := range res.RRs {
+			if rr.Type == dnswire.TypeA {
+				ips = append(ips, simnet.IP(rr.A))
+			}
+		}
+		cb(ips, nil)
+	})
+}

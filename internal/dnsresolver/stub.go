@@ -91,17 +91,5 @@ func (s *Stub) Lookup(name string, qtype dnswire.Type, cb Callback) {
 
 // LookupA resolves name to IPv4 addresses, a convenience for NTP clients.
 func (s *Stub) LookupA(name string, cb func(ips []simnet.IP, err error)) {
-	s.Lookup(name, dnswire.TypeA, func(res Result) {
-		if res.Err != nil {
-			cb(nil, res.Err)
-			return
-		}
-		var ips []simnet.IP
-		for _, rr := range res.RRs {
-			if rr.Type == dnswire.TypeA {
-				ips = append(ips, simnet.IP(rr.A))
-			}
-		}
-		cb(ips, nil)
-	})
+	LookupA(s, name, cb)
 }

@@ -349,8 +349,9 @@ func Mitigations(seed int64, trials, parallel int) (*Table, error) {
 }
 
 // All runs every experiment (E5, the measurement study, lives in
-// fragstudy.go).
-func All(seed int64, trials, parallel int) ([]*Table, error) {
+// fragstudy.go; E9, the fleet study, in fleetstudy.go — clients and
+// resolvers size its population, 0 = the 1000/10 defaults).
+func All(seed int64, trials, parallel, clients, resolvers int) ([]*Table, error) {
 	var out []*Table
 	steps := []func() (*Table, error){
 		func() (*Table, error) { return Figure1(seed, trials, parallel) },
@@ -361,6 +362,7 @@ func All(seed int64, trials, parallel int) ([]*Table, error) {
 		func() (*Table, error) { return TimeShift(seed, trials, parallel) },
 		func() (*Table, error) { return Mitigations(seed, trials, parallel) },
 		func() (*Table, error) { return Ablations(seed, trials, parallel) },
+		func() (*Table, error) { return FleetStudy(seed, trials, parallel, clients, resolvers) },
 	}
 	for _, step := range steps {
 		tbl, err := step()

@@ -1,0 +1,41 @@
+package eval
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestFleetStudyDeterministicAcrossParallelism renders the E9 sweep at
+// -parallel 1 and -parallel GOMAXPROCS: the tables must be byte-identical
+// (shards are independent seeded simulations reduced in shard order).
+func TestFleetStudyDeterministicAcrossParallelism(t *testing.T) {
+	seq, err := FleetStudy(3, 1, 1, 800, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FleetStudy(3, 1, runtime.GOMAXPROCS(0), 800, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Render() != par.Render() {
+		t.Fatalf("E9 table differs across parallelism:\n--- seq ---\n%s\n--- par ---\n%s",
+			seq.Render(), par.Render())
+	}
+}
+
+func TestFleetStudyShowsAmplification(t *testing.T) {
+	tbl, err := FleetStudy(1, 1, 0, 600, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "zipf") || !strings.Contains(out, "uniform") ||
+		!strings.Contains(out, "§V caps") {
+		t.Fatalf("E9 table missing sweep dimensions:\n%s", out)
+	}
+	rows := len(tbl.Rows)
+	if rows < 8 {
+		t.Fatalf("E9 sweep too small: %d rows", rows)
+	}
+}

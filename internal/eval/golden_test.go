@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenCases are the deterministic scenario-backed tables: trials=1 at
+// seed 1 reproduces the paper's single-seed numbers, so the rendered
+// bytes are frozen as goldens. (E3/E4 are closed-form and covered by
+// unit tests; E9's population tables are exercised in fleet tests.)
+func goldenCases() []struct {
+	name string
+	fn   func() (*Table, error)
+} {
+	return []struct {
+		name string
+		fn   func() (*Table, error)
+	}{
+		{"E1", func() (*Table, error) { return Figure1(1, 1, 1) }},
+		{"E2", func() (*Table, error) { return AttackWindow(1, 1, 1) }},
+		{"E5", func() (*Table, error) { return FragmentationStudy(1, 1, 1) }},
+		{"E6", func() (*Table, error) { return TimeShift(1, 1, 1) }},
+		{"E7", func() (*Table, error) { return Mitigations(1, 1, 1) }},
+		{"E8", func() (*Table, error) { return Ablations(1, 1, 1) }},
+	}
+}
+
+// TestGoldenTables byte-compares every experiment's trials=1 rendering
+// against its committed golden. Run with -update to regenerate after an
+// intentional change:
+//
+//	go test ./internal/eval -run TestGoldenTables -update
+func TestGoldenTables(t *testing.T) {
+	for _, tc := range goldenCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			tbl, err := tc.fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := []byte(tbl.Render())
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if string(want) != string(got) {
+				t.Fatalf("%s rendering drifted from golden %s.\n--- want ---\n%s\n--- got ---\n%s",
+					tc.name, path, want, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,206 @@
+package fleet
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"chronosntp/internal/core"
+	"chronosntp/internal/mitigation"
+)
+
+func TestApportionExact(t *testing.T) {
+	for _, tc := range []struct {
+		clients, resolvers int
+		dist               Distribution
+		s                  float64
+	}{
+		{1000, 10, Zipf, 1.2},
+		{1000, 10, Uniform, 0},
+		{7, 10, Zipf, 1.2},
+		{10007, 13, Zipf, 0.8},
+		{0, 5, Uniform, 0},
+		{1, 1, Zipf, 1.2},
+	} {
+		counts := Apportion(tc.clients, tc.resolvers, tc.dist, tc.s)
+		if len(counts) != tc.resolvers {
+			t.Fatalf("Apportion(%d,%d): %d shards", tc.clients, tc.resolvers, len(counts))
+		}
+		sum := 0
+		for _, n := range counts {
+			if n < 0 {
+				t.Fatalf("negative shard count %v", counts)
+			}
+			sum += n
+		}
+		if sum != tc.clients {
+			t.Fatalf("Apportion(%d,%d,%v): sum %d", tc.clients, tc.resolvers, tc.dist, sum)
+		}
+	}
+}
+
+func TestApportionZipfDescending(t *testing.T) {
+	counts := Apportion(10000, 20, Zipf, 1.2)
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatalf("zipf fan-out not descending at %d: %v", i, counts)
+		}
+	}
+	uniform := Apportion(10000, 20, Uniform, 0)
+	if uniform[0] != uniform[len(uniform)-1] {
+		t.Fatalf("uniform fan-out skewed: %v", uniform)
+	}
+	if counts[0] <= uniform[0] {
+		t.Fatalf("zipf head %d should exceed uniform share %d", counts[0], uniform[0])
+	}
+}
+
+// testConfig is a small-but-real fleet: enough clients for the shared
+// cache to matter, reduced horizon so the suite stays fast.
+func testConfig(poisoned int) Config {
+	return Config{
+		Seed:          7,
+		Clients:       240,
+		Resolvers:     6,
+		Poisoned:      poisoned,
+		PoolQueries:   8,
+		BenignServers: 120, MaliciousServers: 60,
+	}
+}
+
+func TestFleetDeterministicAcrossParallelism(t *testing.T) {
+	cfg := testConfig(2)
+	seq, err := Run(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), cfg, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("fleet result differs across parallelism:\nseq: %+v\npar: %+v", seq, par)
+	}
+	again, err := Run(context.Background(), cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, again) {
+		t.Fatalf("fleet result not reproducible from seed")
+	}
+}
+
+// TestFleet10kDeterministic is the acceptance-scale check: a 10 000-client
+// fleet over the full 24-query pool-generation horizon produces an
+// identical result at -parallel 1 and -parallel GOMAXPROCS.
+func TestFleet10kDeterministic(t *testing.T) {
+	cfg := Config{
+		Seed: 1, Clients: 10_000, Resolvers: 10, Poisoned: 1,
+		BenignServers: 120, MaliciousServers: 60,
+	}
+	seq, err := Run(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), cfg, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("10k fleet differs across parallelism:\nseq: %+v\npar: %+v", seq, par)
+	}
+	if seq.TotalClients != 10_000 || seq.PlantedResolvers != 1 || seq.SubvertedClients == 0 {
+		t.Fatalf("10k fleet lost the attack: %+v", seq)
+	}
+}
+
+func TestFleetHonestBaselineClean(t *testing.T) {
+	res, err := Run(context.Background(), testConfig(0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SubvertedClients != 0 || res.ShiftedClients != 0 || res.PlantedResolvers != 0 {
+		t.Fatalf("honest fleet reports subversion: %+v", res)
+	}
+	if res.TotalClients != 240 || res.ChronosClients+res.ClassicClients != 240 {
+		t.Fatalf("population accounting broken: %+v", res)
+	}
+	if res.MeanAttackerFraction != 0 {
+		t.Fatalf("honest pools contain attacker servers: %v", res.MeanAttackerFraction)
+	}
+}
+
+func TestFleetPoisoningAmplifies(t *testing.T) {
+	res, err := Run(context.Background(), testConfig(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlantedResolvers != 1 {
+		t.Fatalf("defrag chain did not land: %+v", res)
+	}
+	// The poisoned resolver is the Zipf head: a large slice of the whole
+	// population falls to a single poisoned cache.
+	if res.SubvertedFraction < 0.2 {
+		t.Fatalf("single poisoned resolver subverted only %.3f of the population", res.SubvertedFraction)
+	}
+	if res.Amplification < 10 {
+		t.Fatalf("amplification %.1f, want clients ≫ poisoned resolvers", res.Amplification)
+	}
+	head := res.Shards[0]
+	if !head.Poisoned || head.ChronosSubverted == 0 || head.ClassicSubverted == 0 {
+		t.Fatalf("head shard not subverted: %+v", head)
+	}
+	for _, s := range res.Shards[1:] {
+		if s.ChronosSubverted != 0 || s.ClassicSubverted != 0 {
+			t.Fatalf("unpoisoned shard %d subverted: %+v", s.Shard, s)
+		}
+	}
+}
+
+func TestFleetMechanisms(t *testing.T) {
+	for _, mech := range []core.Mechanism{core.BGPHijack, core.BGPHijackPersistent} {
+		cfg := testConfig(1)
+		cfg.Mechanism = mech
+		res, err := Run(context.Background(), cfg, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", mech, err)
+		}
+		if res.PlantedResolvers != 1 {
+			t.Fatalf("%v: hijack answered no queries", mech)
+		}
+		if res.SubvertedClients == 0 {
+			t.Fatalf("%v: no clients subverted", mech)
+		}
+	}
+}
+
+func TestFleetMitigationStopsDefrag(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.ResolverPolicy = mitigation.PaperResolverPolicy()
+	cfg.ClientPolicy = mitigation.PaperClientPolicy()
+	res, err := Run(context.Background(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The §V caps reject both the long-TTL poisoned referral and the
+	// 89-record forged response, so the population stays clean.
+	if res.SubvertedClients != 0 {
+		t.Fatalf("mitigated fleet still subverted: %+v", res)
+	}
+}
+
+func TestFleetWireStubFidelity(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.Clients = 60
+	cfg.Resolvers = 3
+	cfg.WireStubs = true
+	res, err := Run(context.Background(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlantedResolvers != 1 || res.SubvertedClients == 0 {
+		t.Fatalf("wire-stub fleet lost the attack: planted=%d subverted=%d",
+			res.PlantedResolvers, res.SubvertedClients)
+	}
+}

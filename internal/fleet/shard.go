@@ -1,0 +1,270 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"chronosntp/internal/analysis"
+	"chronosntp/internal/chronos"
+	"chronosntp/internal/clock"
+	"chronosntp/internal/core"
+	"chronosntp/internal/dnsresolver"
+	"chronosntp/internal/dnswire"
+	"chronosntp/internal/ntpclient"
+	"chronosntp/internal/runner"
+	"chronosntp/internal/simnet"
+)
+
+// Per-shard topology addresses. Every shard is its own network, so the
+// fixed addresses never collide.
+var (
+	shardResolverIP = simnet.IPv4(10, 0, 0, 53)
+	shardClientIP   = simnet.IPv4(10, 0, 1, 1)
+)
+
+// rearmInterval is the cadence of the Defrag attacker's probe→plant cycle
+// while armed: shorter than the 30 s reassembly lifetime, so a spoofed
+// tail is always pending when the resolver's hourly delegation re-walk
+// finally happens.
+const rearmInterval = 25 * time.Second
+
+// Run executes the fleet: one seeded simulation per resolver shard,
+// fanned across parallel workers (≤0 = GOMAXPROCS), reduced in
+// shard-index order. Same Config ⇒ bit-identical Result at any
+// parallelism.
+func Run(ctx context.Context, cfg Config, parallel int) (*Result, error) {
+	cfg = cfg.withDefaults()
+	plans := plan(cfg)
+	shards := make([]ShardResult, len(plans))
+	err := runner.ForEach(ctx, len(plans), parallel, func(i int) error {
+		sr, err := runShard(cfg, plans[i])
+		if err != nil {
+			return fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		shards[i] = *sr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reduce(cfg, shards), nil
+}
+
+// shiftModel memoises the closed-form population shift metric: whether an
+// attacker holding `malicious` of a `poolSize` Chronos pool can move the
+// client by ShiftTarget within AttackHorizon. Pool compositions repeat
+// heavily behind a shared cache, so the memo collapses thousands of
+// clients to a handful of evaluations.
+type shiftModel struct {
+	target   time.Duration
+	horizon  time.Duration
+	interval time.Duration
+	memo     map[[2]int]bool
+}
+
+func newShiftModel(cfg Config, interval time.Duration) *shiftModel {
+	return &shiftModel{
+		target:   cfg.ShiftTarget,
+		horizon:  cfg.AttackHorizon,
+		interval: interval,
+		memo:     make(map[[2]int]bool),
+	}
+}
+
+func (m *shiftModel) shifted(poolSize, malicious int) bool {
+	if poolSize == 0 || malicious == 0 {
+		return false
+	}
+	key := [2]int{poolSize, malicious}
+	if v, ok := m.memo[key]; ok {
+		return v
+	}
+	sampleSize := 15
+	if poolSize < sampleSize {
+		sampleSize = poolSize
+	}
+	trim := sampleSize / 3
+	st, err := analysis.YearsToShift(poolSize, malicious, sampleSize, trim,
+		m.target, 25*time.Millisecond, m.interval)
+	v := err == nil && st.Expected <= m.horizon
+	m.memo[key] = v
+	return v
+}
+
+// runShard simulates one resolver and its client slice end to end.
+func runShard(cfg Config, p shardPlan) (*ShardResult, error) {
+	net := simnet.New(simnet.Config{Seed: p.seed})
+	bb, err := core.BuildBackbone(net, core.BackboneConfig{
+		BenignServers:    cfg.BenignServers,
+		MaliciousServers: cfg.MaliciousServers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resolver, err := bb.NewResolver(shardResolverIP, cfg.ResolverPolicy)
+	if err != nil {
+		return nil, err
+	}
+	clientHost, err := net.AddHost(shardClientIP)
+	if err != nil {
+		return nil, err
+	}
+
+	// The shared resolver handle: direct in-process by default, real UDP
+	// stub exchanges in fidelity mode.
+	var handle dnsresolver.Lookuper = resolver
+	if cfg.WireStubs {
+		handle = dnsresolver.NewStub(clientHost, resolver.Addr(), 0)
+	}
+
+	// Stagger draws come from a dedicated RNG so client scheduling does
+	// not perturb the network's seeded jitter stream.
+	rng := rand.New(rand.NewSource(p.seed ^ 0x6c657466))
+
+	epoch := net.Now().Add(time.Minute)
+	buildSpan := time.Duration(cfg.PoolQueries-1)*cfg.PoolQueryInterval + 2*time.Minute
+	end := epoch.Add(cfg.PoolQueryInterval + buildSpan) // max stagger + build + settle
+
+	clientCfg := chronos.Config{
+		PoolName:          core.PoolName,
+		PoolQueries:       cfg.PoolQueries,
+		PoolQueryInterval: cfg.PoolQueryInterval,
+		Policy:            cfg.ClientPolicy,
+	}
+
+	// Chronos clients: pool generation staggered across one query
+	// interval; each stops after generation (the population metrics are
+	// closed-form over the generated pools, so no per-client NTP sampling
+	// is simulated).
+	chronosClients := make([]*chronos.Client, p.chronos)
+	for i := range chronosClients {
+		c := chronos.New(clientHost, &clock.Clock{}, handle, clientCfg)
+		chronosClients[i] = c
+		start := epoch.Add(time.Duration(rng.Int63n(int64(cfg.PoolQueryInterval))))
+		cc := c
+		net.After(start.Sub(net.Now()), func() {
+			cc.BuildPool(func(error) { cc.Stop() })
+		})
+	}
+
+	// Classic clients: one DNS bootstrap each, at a uniform random moment
+	// of the horizon — their single resolution samples whatever the
+	// shared cache holds at that instant.
+	classicClients := make([]*ntpclient.Client, p.classic)
+	for i := range classicClients {
+		cl := ntpclient.New(clientHost, &clock.Clock{}, handle, ntpclient.Config{
+			PoolName: core.PoolName,
+		})
+		classicClients[i] = cl
+		start := epoch.Add(time.Duration(rng.Int63n(int64(buildSpan + cfg.PoolQueryInterval))))
+		ccl := cl
+		net.After(start.Sub(net.Now()), func() {
+			ccl.Start(func(error) { ccl.Stop() })
+		})
+	}
+
+	// Attacker.
+	var att *core.Attacker
+	if p.poisoned {
+		att, err = core.InstallAttacker(net, core.AttackerConfig{
+			Mechanism:      cfg.Mechanism,
+			Servers:        bb.EvilIPs,
+			VictimResolver: shardResolverIP,
+		})
+		if err != nil {
+			return nil, err
+		}
+		attackAt := epoch.Add(time.Duration(cfg.PoisonQuery-1) * cfg.PoolQueryInterval)
+		lead := attackAt.Sub(net.Now())
+		if lead < 0 {
+			lead = 0
+		}
+		switch cfg.Mechanism {
+		case core.Defrag:
+			// Stay armed: re-probe the root's IPID and re-plant the
+			// checksum-compensated spoofed tails every rearmInterval, and
+			// trigger pool lookups through the open resolver, until the
+			// next hourly delegation re-walk reassembles the poisoned
+			// referral (verified through the cache) or the horizon ends.
+			trigger := dnsresolver.NewStub(att.Host, resolver.Addr(), 2*time.Second)
+			var arm func()
+			arm = func() {
+				if core.GluePoisoned(resolver) || !net.Now().Before(end) {
+					return
+				}
+				att.Poisoner.Execute(core.PoolName, dnswire.TypeA, func(error) {
+					trigger.Lookup(core.PoolName, dnswire.TypeA, func(dnsresolver.Result) {})
+				})
+				net.After(rearmInterval, arm)
+			}
+			net.After(lead, arm)
+		case core.BGPHijack:
+			net.After(lead, att.Hijacker.Announce)
+			net.After(lead+40*time.Second+cfg.PoolQueryInterval/2, att.Hijacker.Withdraw)
+		case core.BGPHijackPersistent:
+			net.After(lead, att.Hijacker.Announce)
+		}
+	}
+
+	net.Run(end)
+
+	// Measure the population.
+	res := &ShardResult{
+		Shard:    p.index,
+		Poisoned: p.poisoned,
+		Clients:  p.clients,
+		Chronos:  p.chronos,
+		Classic:  p.classic,
+	}
+	model := newShiftModel(cfg, syncInterval(clientCfg))
+	for _, c := range chronosClients {
+		var malicious, total int
+		for _, e := range c.Pool() {
+			total++
+			if bb.IsMalicious(e.IP) {
+				malicious++
+			}
+		}
+		if total > 0 {
+			res.SumAttackerFraction += float64(malicious) / float64(total)
+			if 3*malicious >= total {
+				res.ChronosSubverted++
+			}
+		}
+		if model.shifted(total, malicious) {
+			res.ChronosShifted++
+		}
+	}
+	for _, cl := range classicClients {
+		servers := cl.Servers()
+		malicious := 0
+		for _, a := range servers {
+			if bb.IsMalicious(a.IP) {
+				malicious++
+			}
+		}
+		if len(servers) > 0 && 2*malicious > len(servers) {
+			res.ClassicSubverted++
+		}
+	}
+	res.ResolverStats = resolver.Stats()
+	if att != nil {
+		if att.Hijacker != nil {
+			res.Planted = att.Hijacker.Hijacked > 0
+		} else if att.Poisoner != nil {
+			res.Planted = core.GluePoisoned(resolver)
+		}
+	}
+	return res, nil
+}
+
+// syncInterval returns the sync-round interval the shift model uses (the
+// client's effective SyncInterval after defaults).
+func syncInterval(cfg chronos.Config) time.Duration {
+	if cfg.SyncInterval > 0 {
+		return cfg.SyncInterval
+	}
+	return 64 * time.Second
+}

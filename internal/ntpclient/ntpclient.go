@@ -110,7 +110,7 @@ type candidate struct {
 type Client struct {
 	host    *simnet.Host
 	clk     *clock.Clock
-	stub    *dnsresolver.Stub
+	stub    dnsresolver.Lookuper
 	cfg     Config
 	assocs  []*association
 	stats   Stats
@@ -119,8 +119,11 @@ type Client struct {
 	timer   *simnet.Timer
 }
 
-// New builds a client. stub may be nil when cfg.ServerIPs is used.
-func New(host *simnet.Host, clk *clock.Clock, stub *dnsresolver.Stub, cfg Config) *Client {
+// New builds a client. stub is any dnsresolver.Lookuper — the UDP
+// *dnsresolver.Stub in the single-client scenarios, or a shared
+// *dnsresolver.Resolver handle in the fleet experiments — and may be nil
+// when cfg.ServerIPs is used.
+func New(host *simnet.Host, clk *clock.Clock, stub dnsresolver.Lookuper, cfg Config) *Client {
 	return &Client{host: host, clk: clk, stub: stub, cfg: cfg.withDefaults()}
 }
 
@@ -181,7 +184,7 @@ func (c *Client) Start(done func(err error)) {
 		finish(nil, errors.New("ntpclient: pool name set but no DNS stub"))
 		return
 	}
-	c.stub.LookupA(c.cfg.PoolName, finish)
+	dnsresolver.LookupA(c.stub, c.cfg.PoolName, finish)
 }
 
 // Stop halts the poll loop and releases ports.

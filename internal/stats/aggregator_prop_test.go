@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// obs is one randomly generated observation for the property tests.
+type obs struct {
+	metric string
+	idx    int
+	v      float64
+}
+
+// randomObservations draws a trial-result set with unique (metric, idx)
+// pairs — the runner's invariant — and a mix of magnitudes so that
+// floating-point summation order would visibly matter if the reduction
+// were not canonicalised.
+func randomObservations(rng *rand.Rand) []obs {
+	metrics := 1 + rng.Intn(4)
+	trials := 1 + rng.Intn(40)
+	var out []obs
+	for m := 0; m < metrics; m++ {
+		name := fmt.Sprintf("metric-%d", m)
+		for idx := 0; idx < trials; idx++ {
+			if rng.Intn(8) == 0 {
+				continue // sparse metrics: not every trial observes everything
+			}
+			v := (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(13)-6))
+			out = append(out, obs{metric: name, idx: idx, v: v})
+		}
+	}
+	return out
+}
+
+func feed(a *Aggregator, observations []obs) {
+	for _, o := range observations {
+		a.Observe(o.metric, o.idx, o.v)
+	}
+}
+
+// assertIdentical compares every metric of two aggregators bit for bit
+// (Values ordering and the full Summary reduction).
+func assertIdentical(t *testing.T, want, got *Aggregator, label string) {
+	t.Helper()
+	wm, gm := want.Metrics(), got.Metrics()
+	if len(wm) != len(gm) {
+		t.Fatalf("%s: metric sets differ: %v vs %v", label, wm, gm)
+	}
+	for i, m := range wm {
+		if gm[i] != m {
+			t.Fatalf("%s: metric sets differ: %v vs %v", label, wm, gm)
+		}
+		wv, gv := want.Values(m), got.Values(m)
+		if len(wv) != len(gv) {
+			t.Fatalf("%s: %s: %d vs %d values", label, m, len(wv), len(gv))
+		}
+		for j := range wv {
+			if math.Float64bits(wv[j]) != math.Float64bits(gv[j]) {
+				t.Fatalf("%s: %s[%d]: %v vs %v (not bit-identical)", label, m, j, wv[j], gv[j])
+			}
+		}
+		ws, werr := want.Describe(m)
+		gs, gerr := got.Describe(m)
+		if (werr == nil) != (gerr == nil) || ws != gs {
+			t.Fatalf("%s: %s summaries differ: %+v vs %+v", label, m, ws, gs)
+		}
+	}
+}
+
+// TestAggregatorOrderIndependenceProperty is the quick-check: for many
+// random trial-result sets, feeding any permutation of the observations
+// produces a bit-identical aggregate.
+func TestAggregatorOrderIndependenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260729))
+	for iter := 0; iter < 60; iter++ {
+		observations := randomObservations(rng)
+		canonical := NewAggregator()
+		feed(canonical, observations)
+		for p := 0; p < 4; p++ {
+			perm := append([]obs(nil), observations...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			shuffled := NewAggregator()
+			feed(shuffled, perm)
+			assertIdentical(t, canonical, shuffled,
+				fmt.Sprintf("iter %d perm %d", iter, p))
+		}
+	}
+}
+
+// TestAggregatorMergeCommutativeAssociativeProperty checks the merge
+// laws: splitting a trial-result set into random parts and merging them
+// in any grouping or order equals observing everything into one
+// aggregator.
+func TestAggregatorMergeCommutativeAssociativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 40; iter++ {
+		observations := randomObservations(rng)
+		canonical := NewAggregator()
+		feed(canonical, observations)
+
+		// Random 3-way split (parts may be empty).
+		parts := [3][]obs{}
+		for _, o := range observations {
+			k := rng.Intn(3)
+			parts[k] = append(parts[k], o)
+		}
+		aggs := [3]*Aggregator{NewAggregator(), NewAggregator(), NewAggregator()}
+		for k := range parts {
+			feed(aggs[k], parts[k])
+		}
+
+		// (A∪B)∪C
+		left := NewAggregator()
+		left.Merge(aggs[0])
+		left.Merge(aggs[1])
+		left.Merge(aggs[2])
+		assertIdentical(t, canonical, left, fmt.Sprintf("iter %d (A∪B)∪C", iter))
+
+		// C∪(B∪A) — commuted and re-associated.
+		inner := NewAggregator()
+		inner.Merge(aggs[1])
+		inner.Merge(aggs[0])
+		right := NewAggregator()
+		right.Merge(aggs[2])
+		right.Merge(inner)
+		assertIdentical(t, canonical, right, fmt.Sprintf("iter %d C∪(B∪A)", iter))
+	}
+}
+
+func TestAggregatorMergeSelfAndNil(t *testing.T) {
+	a := NewAggregator()
+	a.Observe("m", 0, 1)
+	a.Merge(nil)
+	a.Merge(a)
+	if vs := a.Values("m"); len(vs) != 1 || vs[0] != 1 {
+		t.Fatalf("self/nil merge corrupted state: %v", vs)
+	}
+}

@@ -115,6 +115,29 @@ func (a *Aggregator) Describe(metric string) (Summary, error) {
 	return Describe(a.Values(metric))
 }
 
+// Merge folds other's observations into a. Because every reduction sorts
+// by trial index first, merging is order-independent and associative as
+// long as trial indices are unique per metric (the runner's invariant):
+// merge(A,B) ≡ merge(B,A) ≡ observing everything into one aggregator.
+// It lets sharded producers keep private aggregators and combine them at
+// the end. Safe for concurrent use; other is only read.
+func (a *Aggregator) Merge(other *Aggregator) {
+	if other == nil || other == a {
+		return
+	}
+	other.mu.Lock()
+	copied := make(map[string][]sample, len(other.series))
+	for m, ss := range other.series {
+		copied[m] = append([]sample(nil), ss...)
+	}
+	other.mu.Unlock()
+	a.mu.Lock()
+	for m, ss := range copied {
+		a.series[m] = append(a.series[m], ss...)
+	}
+	a.mu.Unlock()
+}
+
 // Metrics lists the observed metric names, sorted.
 func (a *Aggregator) Metrics() []string {
 	a.mu.Lock()
