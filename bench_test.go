@@ -15,6 +15,7 @@ import (
 	"chronosntp/internal/fleet"
 	"chronosntp/internal/mitigation"
 	"chronosntp/internal/runner"
+	"chronosntp/internal/shiftsim"
 	"chronosntp/internal/simnet"
 )
 
@@ -331,6 +332,77 @@ func BenchmarkFleetScale(b *testing.B) {
 			b.ReportMetric(subverted, "subverted-fraction")
 		})
 	}
+}
+
+// BenchmarkShiftEngine measures the long-horizon shift engine's
+// throughput in simulated rounds/sec. The acceptance bar is ≥ 100k
+// rounds/sec — the round-compression fast path (simnet.FastForward plus
+// attempt-granular sampling) is what makes simulating the paper's
+// "decades to shift" regimes tractable. The honest-majority
+// configuration exercises the steady-state path (every round samples,
+// evaluates C1/C2, and applies an update); the poisoned configuration
+// adds the escalation machinery. A fixed 50k-round budget per iteration
+// keeps the metric stable.
+func BenchmarkShiftEngine(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  shiftsim.Config
+	}{
+		{"honest-majority", shiftsim.Config{
+			Seed: 1, PoolSize: 133, Malicious: 33,
+			Target: time.Hour, // unreachable: pure steady-state throughput
+		}},
+		{"poisoned-greedy", shiftsim.Config{
+			Seed: 1, PoolSize: 133, Malicious: 89,
+			Target: time.Hour,
+		}},
+		{"poisoned-stealth", shiftsim.Config{
+			Seed: 1, PoolSize: 133, Malicious: 89, Strategy: shiftsim.Stealth{},
+			Target: time.Hour,
+		}},
+	}
+	for _, tc := range cases {
+		tc.cfg.MaxRounds = 50_000
+		tc.cfg.Horizon = 10 * 365 * 24 * time.Hour
+		tc.cfg.RunLength = -1
+		b.Run(tc.name, func(b *testing.B) {
+			rounds := 0
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := shiftsim.Run(tc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds += res.Rounds
+			}
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(rounds)/elapsed.Seconds(), "rounds/sec")
+			b.ReportMetric(100_000, "target-rounds/sec")
+		})
+	}
+}
+
+// BenchmarkShiftEngineWire measures the full packet-fidelity mode for
+// contrast: every sample is a real NTP exchange over simnet, so the
+// throughput gap against BenchmarkShiftEngine is the price of fidelity
+// the compressed fast path avoids.
+func BenchmarkShiftEngineWire(b *testing.B) {
+	cfg := shiftsim.Config{
+		Seed: 1, PoolSize: 60, Malicious: 15, Wire: true,
+		Target: time.Hour, MaxRounds: 200,
+		Horizon: 30 * 24 * time.Hour,
+	}
+	rounds := 0
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		res, err := shiftsim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds += res.Rounds
+	}
+	elapsed := time.Since(start)
+	b.ReportMetric(float64(rounds)/elapsed.Seconds(), "rounds/sec")
 }
 
 func evilIPs(n int) []simnet.IP {

@@ -3,9 +3,10 @@
 //
 // Usage:
 //
-//	attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1..E9]
+//	attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1..E10]
 //	attacksim [-seed N] [-trials N] [-parallel N] -sweep mechanism,poisonquery[,mitigation]
 //	attacksim [-seed N] [-parallel N] -fleet [-clients N] [-resolvers N] [-poisoned N]
+//	attacksim [-seed N] [-trials N] -experiment E10 [-shift D] [-horizon D] [-strategy S]
 //
 // With -trials > 1 every scenario-backed experiment becomes a Monte-Carlo
 // run: each number is reported as mean ± 95% CI across independently
@@ -20,6 +21,11 @@
 // -clients behind -resolvers shared caches with -poisoned of them
 // attacked, printing the per-shard and population tables. -clients and
 // -resolvers also size the E9 sweep.
+//
+// -shift, -horizon and -strategy parameterise the E10 long-horizon shift
+// study (internal/shiftsim): the target clock shift, the virtual-time
+// budget per trial, and the attacker strategy (greedy, stealth,
+// intermittent, honest-until-threshold, or all).
 package main
 
 import (
@@ -31,11 +37,13 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"chronosntp/internal/core"
 	"chronosntp/internal/eval"
 	"chronosntp/internal/fleet"
 	"chronosntp/internal/runner"
+	"chronosntp/internal/shiftsim"
 	"chronosntp/internal/stats"
 )
 
@@ -58,13 +66,17 @@ type options struct {
 	clients   int
 	resolvers int
 	poisoned  int
+
+	shift    time.Duration
+	horizon  time.Duration
+	strategy string
 }
 
 func parseFlags(args []string) (options, error) {
 	fs := flag.NewFlagSet("attacksim", flag.ContinueOnError)
 	var o options
 	fs.Int64Var(&o.seed, "seed", 1, "deterministic simulation seed (first of the replica block)")
-	fs.StringVar(&o.experiment, "experiment", "all", "experiment id (E1..E9) or 'all'")
+	fs.StringVar(&o.experiment, "experiment", "all", "experiment id (E1..E10) or 'all'")
 	fs.IntVar(&o.trials, "trials", 1, "Monte-Carlo replicas per scenario (1 = the paper's single-seed tables)")
 	fs.IntVar(&o.parallel, "parallel", 0, "worker count for the trial pool (0 = GOMAXPROCS)")
 	fs.StringVar(&o.sweep, "sweep", "", "comma-separated grid dimensions to sweep: "+strings.Join(sweepAxisNames(), ", "))
@@ -72,6 +84,9 @@ func parseFlags(args []string) (options, error) {
 	fs.IntVar(&o.clients, "clients", 0, "fleet client population (0 = default 1000; also sizes E9)")
 	fs.IntVar(&o.resolvers, "resolvers", 0, "fleet shared-resolver count (0 = default 10; also sizes E9)")
 	fs.IntVar(&o.poisoned, "poisoned", 1, "resolvers the -fleet attacker poisons (largest fan-out first)")
+	fs.DurationVar(&o.shift, "shift", 0, "E10 target clock shift (0 = default 100ms)")
+	fs.DurationVar(&o.horizon, "horizon", 0, "E10 virtual-time budget per trial (0 = default 168h)")
+	fs.StringVar(&o.strategy, "strategy", "all", "E10 attacker strategy: "+strings.Join(shiftsim.Names(), ", ")+", or all")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -105,6 +120,18 @@ func parseFlags(args []string) (options, error) {
 	if (set["clients"] || set["resolvers"]) && !sizeable {
 		return o, fmt.Errorf("-clients/-resolvers only apply to -fleet, -experiment E9 or -experiment all")
 	}
+	shiftable := !o.fleet && o.sweep == "" && o.experiment == "E10"
+	if (set["shift"] || set["horizon"] || set["strategy"]) && !shiftable {
+		return o, fmt.Errorf("-shift/-horizon/-strategy only apply to -experiment E10 (all runs E10 at its defaults)")
+	}
+	if o.shift < 0 || o.horizon < 0 {
+		return o, fmt.Errorf("-shift and -horizon must be ≥ 0")
+	}
+	if o.strategy != "all" {
+		if _, err := shiftsim.ByName(o.strategy); err != nil {
+			return o, err
+		}
+	}
 	return o, nil
 }
 
@@ -135,6 +162,9 @@ func run(w io.Writer, args []string) error {
 		"E9": func() (*eval.Table, error) {
 			return eval.FleetStudy(o.seed, o.trials, o.parallel, o.clients, o.resolvers)
 		},
+		"E10": func() (*eval.Table, error) {
+			return eval.ShiftStudy(o.seed, o.trials, o.parallel, o.shift, o.horizon, o.strategy)
+		},
 	}
 	if o.experiment == "all" {
 		tables, err := eval.All(o.seed, o.trials, o.parallel, o.clients, o.resolvers)
@@ -148,7 +178,7 @@ func run(w io.Writer, args []string) error {
 	}
 	r, ok := runners[o.experiment]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want E1..E9 or all)", o.experiment)
+		return fmt.Errorf("unknown experiment %q (want E1..E10 or all)", o.experiment)
 	}
 	t, err := r()
 	if err != nil {

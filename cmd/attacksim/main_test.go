@@ -66,7 +66,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 			t.Fatalf("conflicting flags %v were silently accepted", args)
 		}
 	}
-	if err := run(&strings.Builder{}, []string{"-experiment", "E42"}); err == nil || !strings.Contains(err.Error(), "E1..E9") {
+	if err := run(&strings.Builder{}, []string{"-experiment", "E42"}); err == nil || !strings.Contains(err.Error(), "E1..E10") {
 		t.Fatalf("unknown experiment error unhelpful: %v", err)
 	}
 	if err := run(&strings.Builder{}, []string{"-sweep", "nope"}); err == nil || !strings.Contains(err.Error(), "valid axes") {
@@ -84,6 +84,48 @@ func TestRunFleetEndToEnd(t *testing.T) {
 	for _, want := range []string{"== FLEET:", "amplification", "shard"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("fleet output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestShiftFlagsOnlyApplyToE10(t *testing.T) {
+	for _, args := range [][]string{
+		{"-shift", "50ms"},
+		{"-experiment", "E1", "-horizon", "24h"},
+		{"-experiment", "E9", "-strategy", "greedy"},
+		{"-fleet", "-shift", "50ms"},
+		{"-sweep", "mechanism", "-horizon", "1h"},
+	} {
+		if err := run(&strings.Builder{}, args); err == nil || !strings.Contains(err.Error(), "E10") {
+			t.Fatalf("run(%v) should reject shift flags outside E10, got %v", args, err)
+		}
+	}
+}
+
+func TestShiftFlagValidation(t *testing.T) {
+	if err := run(&strings.Builder{}, []string{"-experiment", "E10", "-shift", "-1s"}); err == nil {
+		t.Fatal("accepted negative -shift")
+	}
+	if err := run(&strings.Builder{}, []string{"-experiment", "E10", "-strategy", "sneaky"}); err == nil ||
+		!strings.Contains(err.Error(), "greedy") {
+		t.Fatalf("unknown -strategy should list the valid ones, got %v", err)
+	}
+}
+
+// TestE10EndToEnd runs the experiment through the real CLI path with a
+// short horizon and a single strategy, checking the table reaches stdout.
+func TestE10EndToEnd(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, []string{
+		"-experiment", "E10", "-seed", "3",
+		"-horizon", "6h", "-strategy", "greedy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E10", "greedy", "§V caps", "89/133", "closed-form"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("E10 output missing %q:\n%s", want, out.String())
 		}
 	}
 }

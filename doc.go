@@ -35,10 +35,28 @@
 // population subverted/shifted fractions and the cache-amplification
 // factor (clients subverted per poisoned resolver).
 //
+// internal/shiftsim is the long-horizon shift engine: it validates the
+// paper's headline "decades to shift" bound empirically instead of
+// assuming the closed form. The Chronos decision core (sample m, trim
+// 2d, C1/C2, K-failure panic escalation) is extracted into
+// chronos.Rule/Round and shared between the packet client and the
+// engine, which drives it over weeks-to-years of virtual time against
+// adaptive attacker strategies (greedy, stealth, intermittent,
+// honest-until-threshold — all reading the client's clock error off its
+// own requests). A round-compression fast path (simnet.FastForward)
+// hops the idle wire time between rounds, sustaining hundreds of
+// thousands of simulated rounds per second; a full packet-fidelity wire
+// mode cross-checks the compressed dynamics. The E10 experiment
+// cross-tabulates empirical time-to-100ms-shift × attacker fraction ×
+// strategy × §V mitigation against the closed-form prediction, and the
+// fleet's population "shifted" metric is sampled through the same
+// engine rather than assumed.
+//
 // Entry points: cmd/attacksim runs any experiment (-trials N -parallel N
 // for Monte-Carlo mode, -sweep for grid sweeps, -fleet -clients N
-// -resolvers N for a population run); examples/ hold runnable
-// walkthroughs; bench_test.go regenerates every paper artefact as a
-// benchmark and tracks the runner's trials/sec and the fleet engine's
-// clients/sec.
+// -resolvers N for a population run, -shift/-horizon/-strategy for the
+// E10 shift study); examples/ hold runnable walkthroughs; bench_test.go
+// regenerates every paper artefact as a benchmark and tracks the
+// runner's trials/sec, the fleet engine's clients/sec, and the shift
+// engine's rounds/sec.
 package chronosntp

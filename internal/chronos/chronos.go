@@ -149,6 +149,7 @@ type Client struct {
 	clk  *clock.Clock
 	stub Lookuper
 	cfg  Config
+	rule Rule
 
 	pool      []PoolEntry
 	poolSet   map[simnet.IP]bool
@@ -159,17 +160,20 @@ type Client struct {
 
 	stopped bool
 	timer   *simnet.Timer
+	round   *Round
 	stats   Stats
 }
 
 // New builds a Chronos client. stub may be nil when the pool is seeded
 // directly via SeedPool.
 func New(host *simnet.Host, clk *clock.Clock, stub Lookuper, cfg Config) *Client {
+	rule := NewRule(cfg)
 	return &Client{
 		host:    host,
 		clk:     clk,
 		stub:    stub,
-		cfg:     cfg.withDefaults(),
+		cfg:     rule.Config(),
+		rule:    rule,
 		poolSet: make(map[simnet.IP]bool),
 	}
 }
@@ -334,26 +338,27 @@ func (c *Client) scheduleRound(d time.Duration) {
 	if c.stopped {
 		return
 	}
-	c.timer = c.host.Net().After(d, func() { c.startRound(0) })
+	c.timer = c.host.Net().After(d, c.startRound)
 }
 
-// startRound begins one Chronos sync round (attempt counts prior failed
-// re-samples within this round).
-func (c *Client) startRound(attempt int) {
+// startRound begins one Chronos sync round with a fresh escalation state.
+func (c *Client) startRound() {
 	if c.stopped || len(c.pool) == 0 {
 		return
 	}
-	if attempt == 0 {
-		c.stats.Rounds++
-	}
+	c.stats.Rounds++
+	c.round = NewRound(c.cfg.Retries)
+	c.sampleAttempt()
+}
+
+// sampleAttempt performs one sampling attempt of the current round.
+func (c *Client) sampleAttempt() {
 	m := c.cfg.SampleSize
 	if m > len(c.pool) {
 		m = len(c.pool)
 	}
 	sample := c.samplePool(m)
-	c.querySample(sample, func(offsets []time.Duration) {
-		c.evaluate(attempt, offsets)
-	})
+	c.querySample(sample, c.evaluate)
 }
 
 // samplePool draws m distinct pool members uniformly at random.
@@ -393,6 +398,7 @@ func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
 	trueT1 := net.Now()
 	t1 := c.clk.Now(trueT1)
 	answered := false
+	var timeout *simnet.Timer
 	err := c.host.Listen(port, func(now time.Time, meta simnet.Meta, payload []byte) {
 		if answered || meta.From != addr {
 			return
@@ -406,6 +412,10 @@ func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
 		}
 		answered = true
 		c.host.Close(port)
+		// Cancel the pending timeout so answered queries leave no dead
+		// event behind — at long horizons these no-op wakeups dominate
+		// the event queue.
+		timeout.Cancel()
 		t4 := c.clk.Now(now)
 		off, _ := ntpwire.OffsetDelay(t1, resp.ReceiveTime.Time(), resp.TransmitTime.Time(), t4)
 		cb(off, true)
@@ -416,7 +426,7 @@ func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
 	}
 	req := ntpwire.NewClientPacket(t1)
 	_ = c.host.SendUDP(port, addr, req.Encode())
-	net.After(c.cfg.QueryTimeout, func() {
+	timeout = net.After(c.cfg.QueryTimeout, func() {
 		if !answered {
 			c.host.Close(port)
 			cb(0, false)
@@ -424,40 +434,28 @@ func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
 	})
 }
 
-// evaluate applies the Chronos update rule to one round's samples.
-func (c *Client) evaluate(attempt int, offsets []time.Duration) {
+// evaluate applies the Chronos update rule to one attempt's samples and
+// follows the Round state machine's escalation decision.
+func (c *Client) evaluate(offsets []time.Duration) {
 	if c.stopped {
 		return
 	}
-	if len(offsets) < c.cfg.MinReplies || len(offsets) <= 2*c.cfg.Trim {
+	v := c.rule.Evaluate(offsets)
+	if v.Reason == FailInsufficient {
 		c.stats.IncompleteRound++
-		c.failAttempt(attempt)
-		return
 	}
-	surv := trimmed(offsets, c.cfg.Trim)
-	span := surv[len(surv)-1] - surv[0]
-	avg := mean(surv)
-
-	// C1: survivors agree within 2ω. C2: the implied update is within the
-	// local error bound.
-	if span <= 2*c.cfg.Omega && absDur(avg) <= c.cfg.ErrBound {
+	switch c.round.Submit(v) {
+	case Apply:
 		now := c.host.Net().Now()
-		c.clk.Step(now, avg)
+		c.clk.Step(now, v.Update)
 		c.stats.Updates++
 		c.scheduleRound(c.cfg.SyncInterval)
-		return
-	}
-	c.failAttempt(attempt)
-}
-
-// failAttempt re-samples or escalates to panic mode.
-func (c *Client) failAttempt(attempt int) {
-	if attempt < c.cfg.Retries {
+	case Resample:
 		c.stats.Resamples++
-		c.startRound(attempt + 1)
-		return
+		c.sampleAttempt()
+	case Panic:
+		c.panic()
 	}
-	c.panic()
 }
 
 // panic queries every pool server, trims the top and bottom thirds, and
@@ -475,13 +473,12 @@ func (c *Client) panic() {
 		if c.stopped {
 			return
 		}
-		if len(offsets) < 3 {
+		avg, ok := c.rule.PanicUpdate(offsets)
+		if !ok {
 			c.stats.IncompleteRound++
 			c.scheduleRound(c.cfg.SyncInterval)
 			return
 		}
-		surv := trimmed(offsets, len(offsets)/3)
-		avg := mean(surv)
 		now := c.host.Net().Now()
 		c.clk.Step(now, avg)
 		c.stats.PanicUpdates++

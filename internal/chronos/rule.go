@@ -1,0 +1,152 @@
+package chronos
+
+import "time"
+
+// This file isolates the Chronos clock-update *decision procedure* from the
+// packet plumbing: Rule is the pure per-attempt acceptance test (trim, C1,
+// C2) and panic-mode computation, Round is the re-sample/panic escalation
+// state machine. The wire-driven Client delegates to both, and the
+// long-horizon shift engine (internal/shiftsim) drives the very same code
+// at round granularity — so "the round loop the closed-form bound models"
+// and "the round loop the simulation runs" are one implementation.
+
+// FailReason classifies why one sampling attempt was rejected.
+type FailReason int
+
+// Attempt failure reasons.
+const (
+	FailNone         FailReason = iota
+	FailInsufficient            // fewer replies than MinReplies, or too few to trim
+	FailC1                      // survivors spread over more than 2ω
+	FailC2                      // |survivor average| exceeds ErrBound
+)
+
+// String implements fmt.Stringer.
+func (r FailReason) String() string {
+	switch r {
+	case FailNone:
+		return "ok"
+	case FailInsufficient:
+		return "insufficient-replies"
+	case FailC1:
+		return "c1-spread"
+	case FailC2:
+		return "c2-errbound"
+	default:
+		return "FailReason(?)"
+	}
+}
+
+// Verdict is the outcome of applying the update rule to one attempt's
+// offset samples.
+type Verdict struct {
+	OK     bool          // both C1 and C2 hold; Update may be applied
+	Update time.Duration // survivor average (the clock correction)
+	Span   time.Duration // survivor max − min (the C1 statistic)
+	Reason FailReason    // FailNone when OK
+}
+
+// Rule is the pure Chronos per-attempt decision procedure, detached from
+// any network. Construct it with NewRule so the NDSS'18 defaults apply.
+type Rule struct {
+	cfg Config
+}
+
+// NewRule builds a Rule with cfg's defaults resolved.
+func NewRule(cfg Config) Rule { return Rule{cfg: cfg.withDefaults()} }
+
+// Config returns the effective configuration (defaults applied).
+func (r Rule) Config() Config { return r.cfg }
+
+// CaptureNeed returns m − d: the number of attacker samples from which
+// every trimmed-mean survivor is attacker-controlled (the hypergeometric
+// threshold the closed-form analysis uses).
+func (r Rule) CaptureNeed() int { return r.cfg.SampleSize - r.cfg.Trim }
+
+// Evaluate applies the Chronos update rule to one attempt's samples:
+// discard attempts with too few replies, trim d from each end, then accept
+// the survivors' average iff (C1) they lie within 2ω of each other and
+// (C2) the average is within ErrBound of the local clock.
+func (r Rule) Evaluate(offsets []time.Duration) Verdict {
+	if len(offsets) < r.cfg.MinReplies || len(offsets) <= 2*r.cfg.Trim {
+		return Verdict{Reason: FailInsufficient}
+	}
+	surv := trimmed(offsets, r.cfg.Trim)
+	span := surv[len(surv)-1] - surv[0]
+	avg := mean(surv)
+	switch {
+	case span > 2*r.cfg.Omega:
+		return Verdict{Update: avg, Span: span, Reason: FailC1}
+	case absDur(avg) > r.cfg.ErrBound:
+		return Verdict{Update: avg, Span: span, Reason: FailC2}
+	default:
+		return Verdict{OK: true, Update: avg, Span: span}
+	}
+}
+
+// PanicTrim returns how many samples panic mode discards from each end of
+// a full-pool sweep of n replies: the top and bottom thirds, ⌊n/3⌋ each.
+func PanicTrim(n int) int { return n / 3 }
+
+// PanicUpdate computes the panic-mode correction from a full-pool sweep:
+// trim the top and bottom thirds and trust the middle third's average,
+// with no C1/C2 checks. ok is false when fewer than 3 replies arrived
+// (nothing survives the trim).
+func (r Rule) PanicUpdate(offsets []time.Duration) (update time.Duration, ok bool) {
+	if len(offsets) < 3 {
+		return 0, false
+	}
+	return mean(trimmed(offsets, PanicTrim(len(offsets)))), true
+}
+
+// Action is the escalation decision after one attempt.
+type Action int
+
+// Escalation actions.
+const (
+	Apply    Action = iota // accept: step the clock by Verdict.Update
+	Resample               // re-sample m servers and try again
+	Panic                  // query the whole pool and trust the middle third
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Apply:
+		return "apply"
+	case Resample:
+		return "resample"
+	case Panic:
+		return "panic"
+	default:
+		return "Action(?)"
+	}
+}
+
+// Round tracks one sync round's re-sample/panic escalation. A fresh Round
+// is created per round; Submit folds in each attempt's verdict. Per the
+// NDSS'18 spec the client re-samples up to K (= Config.Retries) times, so
+// panic mode triggers on the (K+1)-th consecutive failed attempt of a
+// round.
+type Round struct {
+	retries  int
+	failures int
+}
+
+// NewRound starts a round with the given re-sample budget K.
+func NewRound(retries int) *Round { return &Round{retries: retries} }
+
+// Submit records one attempt's verdict and returns the escalation action.
+func (r *Round) Submit(v Verdict) Action {
+	if v.OK {
+		return Apply
+	}
+	r.failures++
+	if r.failures <= r.retries {
+		return Resample
+	}
+	return Panic
+}
+
+// Failures reports the consecutive failed attempts so far this round.
+func (r *Round) Failures() int { return r.failures }

@@ -2,6 +2,7 @@ package clock
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
@@ -133,5 +134,62 @@ func TestStepExactProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestWanderZeroValueDisabled(t *testing.T) {
+	var w Wander
+	if w.Enabled() {
+		t.Fatal("zero wander reports enabled")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if got := w.Next(rng, 12.5); got != 12.5 {
+		t.Fatalf("disabled wander changed drift: %v", got)
+	}
+}
+
+func TestWanderBoundedWalk(t *testing.T) {
+	w := Wander{StepPPM: 0.5, MaxPPM: 20}
+	rng := rand.New(rand.NewSource(42))
+	drift := 0.0
+	changed := false
+	for i := 0; i < 100_000; i++ {
+		next := w.Next(rng, drift)
+		if next != drift {
+			changed = true
+		}
+		if step := next - drift; step > w.StepPPM || step < -w.StepPPM {
+			// The clamp may shorten a step, never lengthen it.
+			if next != w.MaxPPM && next != -w.MaxPPM {
+				t.Fatalf("step %v exceeds ±%v", step, w.StepPPM)
+			}
+		}
+		drift = next
+		if drift > w.MaxPPM || drift < -w.MaxPPM {
+			t.Fatalf("drift %v escaped ±%v at step %d", drift, w.MaxPPM, i)
+		}
+	}
+	if !changed {
+		t.Fatal("wander never moved the drift")
+	}
+}
+
+func TestWanderDeterministic(t *testing.T) {
+	w := Wander{StepPPM: 0.25, MaxPPM: 5}
+	walk := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]float64, 50)
+		d := 0.0
+		for i := range out {
+			d = w.Next(rng, d)
+			out[i] = d
+		}
+		return out
+	}
+	a, b := walk(7), walk(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wander not reproducible from seed at step %d", i)
+		}
 	}
 }

@@ -350,7 +350,9 @@ func Mitigations(seed int64, trials, parallel int) (*Table, error) {
 
 // All runs every experiment (E5, the measurement study, lives in
 // fragstudy.go; E9, the fleet study, in fleetstudy.go — clients and
-// resolvers size its population, 0 = the 1000/10 defaults).
+// resolvers size its population, 0 = the 1000/10 defaults; E10, the
+// long-horizon shift study, in shiftstudy.go at its default target,
+// horizon and full strategy sweep).
 func All(seed int64, trials, parallel, clients, resolvers int) ([]*Table, error) {
 	var out []*Table
 	steps := []func() (*Table, error){
@@ -363,6 +365,7 @@ func All(seed int64, trials, parallel, clients, resolvers int) ([]*Table, error)
 		func() (*Table, error) { return Mitigations(seed, trials, parallel) },
 		func() (*Table, error) { return Ablations(seed, trials, parallel) },
 		func() (*Table, error) { return FleetStudy(seed, trials, parallel, clients, resolvers) },
+		func() (*Table, error) { return ShiftStudy(seed, trials, parallel, 0, 0, "all") },
 	}
 	for _, step := range steps {
 		tbl, err := step()

@@ -82,7 +82,7 @@ func FleetStudy(seed int64, trials, parallel, clients, resolvers int) (*Table, e
 	}
 	t.Notes = append(t.Notes,
 		"subverted: clients whose Chronos pool ended ≥ 1/3 malicious (proof boundary) or whose classic bootstrap was majority-malicious",
-		"shifted: clients the attacker moves > 100 ms within 24 h (closed-form expected effort over the measured pool)",
+		"shifted: clients the attacker moves > 100 ms within 24 h (sampled empirically: shiftsim greedy runs over the measured pool)",
 		"amplification: clients subverted per poisoned resolver — the paper's population-level lever",
 		"the attacker poisons the largest resolvers first; under zipf fan-out one cache covers a large population slice",
 	)

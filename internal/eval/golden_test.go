@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
@@ -12,7 +13,9 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 // goldenCases are the deterministic scenario-backed tables: trials=1 at
 // seed 1 reproduces the paper's single-seed numbers, so the rendered
 // bytes are frozen as goldens. (E3/E4 are closed-form and covered by
-// unit tests; E9's population tables are exercised in fleet tests.)
+// unit tests.) E9 runs a reduced 600-client/6-resolver population and
+// E10 a one-day horizon to keep the golden regeneration fast; both stay
+// deterministic at any parallelism, so the frozen bytes are stable.
 func goldenCases() []struct {
 	name string
 	fn   func() (*Table, error)
@@ -27,6 +30,8 @@ func goldenCases() []struct {
 		{"E6", func() (*Table, error) { return TimeShift(1, 1, 1) }},
 		{"E7", func() (*Table, error) { return Mitigations(1, 1, 1) }},
 		{"E8", func() (*Table, error) { return Ablations(1, 1, 1) }},
+		{"E9", func() (*Table, error) { return FleetStudy(1, 1, 1, 600, 6) }},
+		{"E10", func() (*Table, error) { return ShiftStudy(1, 1, 1, 0, 24*time.Hour, "all") }},
 	}
 }
 

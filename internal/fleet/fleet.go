@@ -88,11 +88,13 @@ type Config struct {
 	ClientPolicy   chronos.PoolPolicy           // §V client mitigation
 
 	// ShiftTarget/AttackHorizon parameterise the population shift metric:
-	// a Chronos client counts as shifted when the closed-form expected
-	// attacker effort to move it by ShiftTarget is within AttackHorizon.
-	// Defaults: 100ms / 24h.
+	// a Chronos client counts as shifted when the long-horizon shift
+	// engine (internal/shiftsim), run over the client's measured pool
+	// composition, moves the clock by ShiftTarget within AttackHorizon in
+	// a majority of ShiftTrials sampled runs. Defaults: 100ms / 24h / 3.
 	ShiftTarget   time.Duration
 	AttackHorizon time.Duration
+	ShiftTrials   int
 
 	// WireStubs switches clients from the direct resolver handle to real
 	// per-lookup UDP stub exchanges (full fidelity, ~10× the events).
@@ -260,8 +262,8 @@ type ShardResult struct {
 	// proof no longer applies.
 	ChronosSubverted int
 	// ChronosShifted counts Chronos clients the attacker can move by
-	// ShiftTarget within AttackHorizon (closed-form expected effort over
-	// the client's actual pool composition).
+	// ShiftTarget within AttackHorizon (sampled empirically: shiftsim
+	// greedy runs over the client's actual pool composition).
 	ChronosShifted int
 	// ClassicSubverted counts classic clients that bootstrapped a
 	// majority-malicious server set; such a client follows the attacker

@@ -6,7 +6,6 @@ import (
 	"math/rand"
 	"time"
 
-	"chronosntp/internal/analysis"
 	"chronosntp/internal/chronos"
 	"chronosntp/internal/clock"
 	"chronosntp/internal/core"
@@ -14,6 +13,7 @@ import (
 	"chronosntp/internal/dnswire"
 	"chronosntp/internal/ntpclient"
 	"chronosntp/internal/runner"
+	"chronosntp/internal/shiftsim"
 	"chronosntp/internal/simnet"
 )
 
@@ -52,25 +52,28 @@ func Run(ctx context.Context, cfg Config, parallel int) (*Result, error) {
 	return reduce(cfg, shards), nil
 }
 
-// shiftModel memoises the closed-form population shift metric: whether an
-// attacker holding `malicious` of a `poolSize` Chronos pool can move the
-// client by ShiftTarget within AttackHorizon. Pool compositions repeat
-// heavily behind a shared cache, so the memo collapses thousands of
-// clients to a handful of evaluations.
+// shiftModel memoises the population shift metric: whether an attacker
+// holding `malicious` of a `poolSize` Chronos pool moves the client by
+// ShiftTarget within AttackHorizon. The answer is *sampled empirically*
+// with the long-horizon shift engine — ShiftTrials greedy runs of the
+// real round loop per distinct composition, majority vote — instead of
+// assumed from the closed form. Pool compositions repeat heavily behind a
+// shared cache, so the memo collapses thousands of clients to a handful
+// of engine runs; each composition derives its own seed, making the
+// verdict independent of client evaluation order.
 type shiftModel struct {
-	target   time.Duration
-	horizon  time.Duration
-	interval time.Duration
-	memo     map[[2]int]bool
+	cfg    Config
+	seed   int64
+	trials int
+	memo   map[[2]int]bool
 }
 
-func newShiftModel(cfg Config, interval time.Duration) *shiftModel {
-	return &shiftModel{
-		target:   cfg.ShiftTarget,
-		horizon:  cfg.AttackHorizon,
-		interval: interval,
-		memo:     make(map[[2]int]bool),
+func newShiftModel(cfg Config, seed int64) *shiftModel {
+	trials := cfg.ShiftTrials
+	if trials <= 0 {
+		trials = 3
 	}
+	return &shiftModel{cfg: cfg, seed: seed, trials: trials, memo: make(map[[2]int]bool)}
 }
 
 func (m *shiftModel) shifted(poolSize, malicious int) bool {
@@ -81,16 +84,31 @@ func (m *shiftModel) shifted(poolSize, malicious int) bool {
 	if v, ok := m.memo[key]; ok {
 		return v
 	}
-	sampleSize := 15
-	if poolSize < sampleSize {
-		sampleSize = poolSize
+	rs, err := shiftsim.Sample(shiftsim.Config{
+		PoolSize:  poolSize,
+		Malicious: malicious,
+		Target:    m.cfg.ShiftTarget,
+		Horizon:   m.cfg.AttackHorizon,
+		RunLength: -1,
+	}, m.compositionSeed(poolSize, malicious), m.trials)
+	v := false
+	if err == nil {
+		hits := 0
+		for _, r := range rs {
+			if r.Shifted {
+				hits++
+			}
+		}
+		v = 2*hits > m.trials
 	}
-	trim := sampleSize / 3
-	st, err := analysis.YearsToShift(poolSize, malicious, sampleSize, trim,
-		m.target, 25*time.Millisecond, m.interval)
-	v := err == nil && st.Expected <= m.horizon
 	m.memo[key] = v
 	return v
+}
+
+// compositionSeed derives a deterministic seed block per composition so
+// the verdict does not depend on which client asks first.
+func (m *shiftModel) compositionSeed(poolSize, malicious int) int64 {
+	return m.seed*1_000_003 + int64(poolSize)*104_729 + int64(malicious)*7919 + 17
 }
 
 // runShard simulates one resolver and its client slice end to end.
@@ -135,9 +153,10 @@ func runShard(cfg Config, p shardPlan) (*ShardResult, error) {
 	}
 
 	// Chronos clients: pool generation staggered across one query
-	// interval; each stops after generation (the population metrics are
-	// closed-form over the generated pools, so no per-client NTP sampling
-	// is simulated).
+	// interval; each stops after generation — the population shift metric
+	// is then sampled per distinct generated pool composition by the
+	// shiftsim engine, so no per-client NTP sampling runs in the shard
+	// itself.
 	chronosClients := make([]*chronos.Client, p.chronos)
 	for i := range chronosClients {
 		c := chronos.New(clientHost, &clock.Clock{}, handle, clientCfg)
@@ -218,7 +237,7 @@ func runShard(cfg Config, p shardPlan) (*ShardResult, error) {
 		Chronos:  p.chronos,
 		Classic:  p.classic,
 	}
-	model := newShiftModel(cfg, syncInterval(clientCfg))
+	model := newShiftModel(cfg, p.seed)
 	for _, c := range chronosClients {
 		var malicious, total int
 		for _, e := range c.Pool() {
@@ -258,13 +277,4 @@ func runShard(cfg Config, p shardPlan) (*ShardResult, error) {
 		}
 	}
 	return res, nil
-}
-
-// syncInterval returns the sync-round interval the shift model uses (the
-// client's effective SyncInterval after defaults).
-func syncInterval(cfg chronos.Config) time.Duration {
-	if cfg.SyncInterval > 0 {
-		return cfg.SyncInterval
-	}
-	return 64 * time.Second
 }

@@ -39,6 +39,20 @@ var _ ShiftStrategy = ShiftFunc(nil)
 // Shift implements ShiftStrategy.
 func (f ShiftFunc) Shift(now time.Time) time.Duration { return f(now) }
 
+// RequestShiftStrategy is the MitM-grade extension of ShiftStrategy: a
+// strategy implementing it is shown the client's request packet and source
+// address before deciding the shift. This matters because an NTP client
+// leaks its own clock in the request's TransmitTime — an attacker-controlled
+// server (or an on-path attacker) reads the client's current error straight
+// off the wire and serves the largest lie that still passes the client's
+// sanity checks. The shiftsim strategies use it for their adaptive modes.
+type RequestShiftStrategy interface {
+	ShiftStrategy
+	// ShiftForRequest returns the offset to apply for the response to req,
+	// received at (true) time now from the given client address.
+	ShiftForRequest(now time.Time, req *ntpwire.Packet, from simnet.Addr) time.Duration
+}
+
 // Config parameterises a Server.
 type Config struct {
 	Stratum     uint8         // default 2
@@ -101,7 +115,9 @@ func (s *Server) handle(now time.Time, meta simnet.Meta, payload []byte) {
 	s.queries++
 
 	shift := time.Duration(0)
-	if s.cfg.Strategy != nil {
+	if rs, ok := s.cfg.Strategy.(RequestShiftStrategy); ok {
+		shift = rs.ShiftForRequest(now, req, meta.From)
+	} else if s.cfg.Strategy != nil {
 		shift = s.cfg.Strategy.Shift(now)
 	}
 	recv := s.cfg.Clock.Now(now).Add(shift)

@@ -228,3 +228,59 @@ func TestSetStrategy(t *testing.T) {
 		t.Errorf("strategy swap ineffective: offset %v", offset)
 	}
 }
+
+// clockReader is a RequestShiftStrategy that reads the client's clock
+// error off the request's TransmitTime and echoes back a lie sized to it.
+type clockReader struct {
+	observed time.Duration
+	extra    time.Duration
+}
+
+func (c *clockReader) Shift(time.Time) time.Duration { return 0 }
+
+func (c *clockReader) ShiftForRequest(now time.Time, req *ntpwire.Packet, _ simnet.Addr) time.Duration {
+	c.observed = req.TransmitTime.Time().Sub(now)
+	return c.observed + c.extra
+}
+
+// TestRequestAwareStrategySeesClientClock: a request-aware strategy reads
+// the client's error from the request (within one-way latency) and its
+// served shift lands in the computed offset.
+func TestRequestAwareStrategySeesClientClock(t *testing.T) {
+	n := simnet.New(simnet.Config{Seed: 51})
+	sh, _ := n.AddHost(srvIP)
+	reader := &clockReader{extra: 40 * time.Millisecond}
+	if _, err := New(sh, Config{Strategy: reader}); err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := n.AddHost(cliIP)
+
+	// Client whose clock runs 2 s ahead of true time: T1 in the request
+	// leaks it.
+	cliClk := clock.New(n.Now(), 2*time.Second, 0)
+	port := ch.EphemeralPort()
+	var resp *ntpwire.Packet
+	var t4 time.Time
+	_ = ch.Listen(port, func(now time.Time, meta simnet.Meta, payload []byte) {
+		if p, err := ntpwire.Decode(payload); err == nil && p.Mode == ntpwire.ModeServer {
+			resp, t4 = p, cliClk.Now(now)
+		}
+	})
+	t1 := cliClk.Now(n.Now())
+	_ = ch.SendUDP(port, simnet.Addr{IP: srvIP, Port: ntpwire.Port}, ntpwire.NewClientPacket(t1).Encode())
+	n.RunFor(time.Second)
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	// T1 is read one-way-latency after it was stamped, so the observation
+	// undershoots the true error by the (small) one-way delay.
+	if d := 2*time.Second - reader.observed; d < 0 || d > 10*time.Millisecond {
+		t.Fatalf("strategy observed %v, want client error 2s (−one-way latency)", reader.observed)
+	}
+	offset, _ := ntpwire.OffsetDelay(t1, resp.ReceiveTime.Time(), resp.TransmitTime.Time(), t4)
+	// Served shift = observed + 40ms, client-side offset = shift − 2s ≈
+	// 40ms minus the observation undershoot.
+	if offset < 30*time.Millisecond || offset > 45*time.Millisecond {
+		t.Fatalf("client computed offset %v, want ≈ 40ms lie", offset)
+	}
+}

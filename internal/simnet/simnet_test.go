@@ -508,3 +508,85 @@ func TestAddrAndPacketString(t *testing.T) {
 		t.Error("whole packet misreported as fragment")
 	}
 }
+
+func TestFastForwardEmptyWindow(t *testing.T) {
+	n := New(Config{Seed: 9})
+	start := n.Now()
+	if ran := n.FastForward(365 * 24 * time.Hour); ran != 0 {
+		t.Fatalf("empty fast-forward executed %d events", ran)
+	}
+	if got := n.Now().Sub(start); got != 365*24*time.Hour {
+		t.Fatalf("fast-forward advanced %v, want one year", got)
+	}
+}
+
+func TestFastForwardRunsWindowEvents(t *testing.T) {
+	n := New(Config{Seed: 9})
+	var fired []int
+	n.After(time.Second, func() { fired = append(fired, 1) })
+	n.After(3*time.Second, func() { fired = append(fired, 3) })
+	n.After(10*time.Second, func() { fired = append(fired, 10) })
+	cancelled := n.After(2*time.Second, func() { fired = append(fired, 2) })
+	cancelled.Cancel()
+
+	if ran := n.FastForward(5 * time.Second); ran != 2 {
+		t.Fatalf("fast-forward ran %d events, want 2", ran)
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired = %v, want [1 3]", fired)
+	}
+	// The out-of-window event is still pending.
+	when, ok := n.NextEventAt()
+	if !ok || when.Sub(n.Now()) != 5*time.Second {
+		t.Fatalf("next event at %v ok=%v, want +5s", when, ok)
+	}
+	if ran := n.FastForward(5 * time.Second); ran != 1 {
+		t.Fatal("pending event lost across fast-forwards")
+	}
+	if len(fired) != 3 || fired[2] != 10 {
+		t.Fatalf("fired = %v, want [1 3 10]", fired)
+	}
+}
+
+func TestNextEventAtSkipsCancelled(t *testing.T) {
+	n := New(Config{Seed: 9})
+	early := n.After(time.Second, func() {})
+	n.After(2*time.Second, func() {})
+	early.Cancel()
+	when, ok := n.NextEventAt()
+	if !ok || when.Sub(n.Now()) != 2*time.Second {
+		t.Fatalf("NextEventAt = %v ok=%v, want the live +2s event", when, ok)
+	}
+	if _, ok := New(Config{Seed: 1}).NextEventAt(); ok {
+		t.Fatal("NextEventAt reported an event on an empty queue")
+	}
+}
+
+// TestFastForwardMatchesRun: FastForward over a window with traffic is
+// behaviourally identical to Run — same deliveries, same final clock.
+func TestFastForwardMatchesRun(t *testing.T) {
+	build := func() (*Network, *int) {
+		n := New(Config{Seed: 77})
+		a, _ := n.AddHost(IPv4(10, 0, 0, 1))
+		b, _ := n.AddHost(IPv4(10, 0, 0, 2))
+		got := 0
+		_ = b.Listen(9, func(time.Time, Meta, []byte) { got++ })
+		for i := 0; i < 5; i++ {
+			i := i
+			n.After(time.Duration(i)*time.Second, func() {
+				_ = a.SendUDP(7, Addr{IP: b.IP(), Port: 9}, []byte{byte(i)})
+			})
+		}
+		return n, &got
+	}
+	n1, got1 := build()
+	n1.RunFor(time.Minute)
+	n2, got2 := build()
+	n2.FastForward(time.Minute)
+	if *got1 != 5 || *got1 != *got2 {
+		t.Fatalf("deliveries differ: run=%d fast-forward=%d", *got1, *got2)
+	}
+	if !n1.Now().Equal(n2.Now()) {
+		t.Fatalf("clocks diverged: %v vs %v", n1.Now(), n2.Now())
+	}
+}
