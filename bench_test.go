@@ -96,11 +96,11 @@ func BenchmarkTableChronosSecurity(b *testing.B) {
 func BenchmarkTableFragmentationStudy(b *testing.B) {
 	var tbl *eval.Table
 	for i := 0; i < b.N; i++ {
-		var err error
-		tbl, err = eval.FragmentationStudy(1, 1, 1)
+		res, err := eval.FragmentationStudy(1, 1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
+		tbl = res.Table()
 	}
 	b.ReportMetric(float64(len(tbl.Rows)), "rows")
 }
@@ -169,11 +169,11 @@ func BenchmarkTableMitigations(b *testing.B) {
 func BenchmarkTableAblations(b *testing.B) {
 	var rows float64
 	for i := 0; i < b.N; i++ {
-		tbl, err := eval.Ablations(1, 1, 1)
+		res, err := eval.Ablations(1, 1, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
-		rows = float64(len(tbl.Rows))
+		rows = float64(len(res.Table().Rows))
 	}
 	b.ReportMetric(rows, "rows")
 }

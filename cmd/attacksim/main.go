@@ -1,12 +1,15 @@
 // Command attacksim runs the reproduction experiments and prints the
-// paper-vs-measured tables.
+// paper-vs-measured tables. See EXPERIMENTS.md (generated) for the catalog
+// of experiments E1–E10.
 //
 // Usage:
 //
-//	attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1..E10]
+//	attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1..E10] [-json]
 //	attacksim [-seed N] [-trials N] [-parallel N] -sweep mechanism,poisonquery[,mitigation]
 //	attacksim [-seed N] [-parallel N] -fleet [-clients N] [-resolvers N] [-poisoned N]
 //	attacksim [-seed N] [-trials N] -experiment E10 [-shift D] [-horizon D] [-strategy S]
+//	attacksim -experiment E10 -checkpoint f.json   # persist completed trials as they finish
+//	attacksim -experiment E10 -resume f.json       # restore them and run only the rest
 //
 // With -trials > 1 every scenario-backed experiment becomes a Monte-Carlo
 // run: each number is reported as mean ± 95% CI across independently
@@ -26,10 +29,21 @@
 // study (internal/shiftsim): the target clock shift, the virtual-time
 // budget per trial, and the attacker strategy (greedy, stealth,
 // intermittent, honest-until-threshold, or all).
+//
+// -checkpoint and -resume (E10 and -sweep) persist every completed trial
+// to a JSONL file as it finishes and restore it on resume; because every
+// trial is deterministic given its seed and the reduction is keyed by
+// trial index, a resumed run's output is bit-identical to an
+// uninterrupted one. -resume validates the file against the run's
+// configuration fingerprint and rejects checkpoints from different runs.
+//
+// -json prints the experiment's typed eval.Result as JSON instead of the
+// rendered table (the table is derived from the same struct).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -61,6 +75,7 @@ type options struct {
 	trials     int
 	parallel   int
 	sweep      string
+	jsonOut    bool
 
 	fleet     bool
 	clients   int
@@ -70,16 +85,33 @@ type options struct {
 	shift    time.Duration
 	horizon  time.Duration
 	strategy string
+
+	checkpoint string
+	resume     string
 }
 
-func parseFlags(args []string) (options, error) {
+// modeSynopses are the command forms usage prints above the flag list.
+// The flag descriptions themselves come from the flag set (PrintDefaults),
+// so a newly registered flag can never be missing from -help.
+var modeSynopses = []string{
+	"attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1..E10] [-json]",
+	"attacksim [-seed N] [-trials N] [-parallel N] -sweep mechanism,poisonquery[,mitigation]",
+	"attacksim [-seed N] [-parallel N] -fleet [-clients N] [-resolvers N] [-poisoned N]",
+	"attacksim [-seed N] [-trials N] -experiment E10 [-shift D] [-horizon D] [-strategy S]",
+	"attacksim -experiment E10|-sweep … -checkpoint f.json    (persist trials as they finish)",
+	"attacksim -experiment E10|-sweep … -resume f.json        (restore them, run only the rest)",
+}
+
+// newFlagSet registers every flag and derives the usage text from the
+// flag set itself.
+func newFlagSet(o *options) *flag.FlagSet {
 	fs := flag.NewFlagSet("attacksim", flag.ContinueOnError)
-	var o options
 	fs.Int64Var(&o.seed, "seed", 1, "deterministic simulation seed (first of the replica block)")
 	fs.StringVar(&o.experiment, "experiment", "all", "experiment id (E1..E10) or 'all'")
 	fs.IntVar(&o.trials, "trials", 1, "Monte-Carlo replicas per scenario (1 = the paper's single-seed tables)")
 	fs.IntVar(&o.parallel, "parallel", 0, "worker count for the trial pool (0 = GOMAXPROCS)")
 	fs.StringVar(&o.sweep, "sweep", "", "comma-separated grid dimensions to sweep: "+strings.Join(sweepAxisNames(), ", "))
+	fs.BoolVar(&o.jsonOut, "json", false, "print the typed eval.Result as JSON instead of the rendered table")
 	fs.BoolVar(&o.fleet, "fleet", false, "run one population-scale fleet simulation instead of an experiment")
 	fs.IntVar(&o.clients, "clients", 0, "fleet client population (0 = default 1000; also sizes E9)")
 	fs.IntVar(&o.resolvers, "resolvers", 0, "fleet shared-resolver count (0 = default 10; also sizes E9)")
@@ -87,6 +119,26 @@ func parseFlags(args []string) (options, error) {
 	fs.DurationVar(&o.shift, "shift", 0, "E10 target clock shift (0 = default 100ms)")
 	fs.DurationVar(&o.horizon, "horizon", 0, "E10 virtual-time budget per trial (0 = default 168h)")
 	fs.StringVar(&o.strategy, "strategy", "all", "E10 attacker strategy: "+strings.Join(shiftsim.Names(), ", ")+", or all")
+	fs.StringVar(&o.checkpoint, "checkpoint", "", "start a fresh checkpoint file; persists completed trials (E10 and -sweep)")
+	fs.StringVar(&o.resume, "resume", "", "resume from an existing checkpoint file (E10 and -sweep)")
+	fs.Usage = func() {
+		w := fs.Output()
+		fmt.Fprintln(w, "attacksim — chronosntp reproduction experiments (catalog: EXPERIMENTS.md)")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "Usage:")
+		for _, s := range modeSynopses {
+			fmt.Fprintln(w, "  "+s)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "Flags:")
+		fs.PrintDefaults()
+	}
+	return fs
+}
+
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := newFlagSet(&o)
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -132,7 +184,26 @@ func parseFlags(args []string) (options, error) {
 			return o, err
 		}
 	}
+	if o.checkpoint != "" && o.resume != "" {
+		return o, fmt.Errorf("-checkpoint and -resume are mutually exclusive (resume appends to the existing file)")
+	}
+	checkpointable := o.sweep != "" || (!o.fleet && o.experiment == "E10")
+	if (o.checkpoint != "" || o.resume != "") && !checkpointable {
+		return o, fmt.Errorf("-checkpoint/-resume currently apply to -experiment E10 and -sweep")
+	}
+	if o.jsonOut && (o.fleet || o.sweep != "") {
+		return o, fmt.Errorf("-json applies to -experiment runs (the typed eval.Result pipeline)")
+	}
 	return o, nil
+}
+
+// openCheckpoint creates or resumes the run's checkpoint file, validating
+// a resumed file against the configuration fingerprint.
+func openCheckpoint(o options, fingerprint, description string, total int) (*runner.Checkpoint, error) {
+	if o.checkpoint != "" {
+		return runner.CreateCheckpoint(o.checkpoint, fingerprint, total, description)
+	}
+	return runner.ResumeCheckpoint(o.resume, fingerprint, total)
 }
 
 func run(w io.Writer, args []string) error {
@@ -147,32 +218,44 @@ func run(w io.Writer, args []string) error {
 		return runFleet(w, o)
 	}
 	if o.sweep != "" {
-		return runSweep(w, o.sweep, o.seed, o.trials, o.parallel)
+		return runSweep(w, o)
 	}
 
-	runners := map[string]func() (*eval.Table, error){
-		"E1": func() (*eval.Table, error) { return eval.Figure1(o.seed, o.trials, o.parallel) },
-		"E2": func() (*eval.Table, error) { return eval.AttackWindow(o.seed, o.trials, o.parallel) },
+	runners := map[string]func() (*eval.Result, error){
+		"E1": func() (*eval.Result, error) { return eval.Figure1(o.seed, o.trials, o.parallel) },
+		"E2": func() (*eval.Result, error) { return eval.AttackWindow(o.seed, o.trials, o.parallel) },
 		"E3": eval.MaxAddresses,
 		"E4": eval.ChronosSecurity,
-		"E5": func() (*eval.Table, error) { return eval.FragmentationStudy(o.seed, o.trials, o.parallel) },
-		"E6": func() (*eval.Table, error) { return eval.TimeShift(o.seed, o.trials, o.parallel) },
-		"E7": func() (*eval.Table, error) { return eval.Mitigations(o.seed, o.trials, o.parallel) },
-		"E8": func() (*eval.Table, error) { return eval.Ablations(o.seed, o.trials, o.parallel) },
-		"E9": func() (*eval.Table, error) {
+		"E5": func() (*eval.Result, error) { return eval.FragmentationStudy(o.seed, o.trials, o.parallel) },
+		"E6": func() (*eval.Result, error) { return eval.TimeShift(o.seed, o.trials, o.parallel) },
+		"E7": func() (*eval.Result, error) { return eval.Mitigations(o.seed, o.trials, o.parallel) },
+		"E8": func() (*eval.Result, error) { return eval.Ablations(o.seed, o.trials, o.parallel) },
+		"E9": func() (*eval.Result, error) {
 			return eval.FleetStudy(o.seed, o.trials, o.parallel, o.clients, o.resolvers)
 		},
-		"E10": func() (*eval.Table, error) {
-			return eval.ShiftStudy(o.seed, o.trials, o.parallel, o.shift, o.horizon, o.strategy)
-		},
+		"E10": func() (*eval.Result, error) { return runE10(o) },
+	}
+	emit := func(res *eval.Result) error {
+		if o.jsonOut {
+			b, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, string(b))
+			return nil
+		}
+		fmt.Fprintln(w, res.Render())
+		return nil
 	}
 	if o.experiment == "all" {
-		tables, err := eval.All(o.seed, o.trials, o.parallel, o.clients, o.resolvers)
+		results, err := eval.All(o.seed, o.trials, o.parallel, o.clients, o.resolvers)
 		if err != nil {
 			return err
 		}
-		for _, t := range tables {
-			fmt.Fprintln(w, t.Render())
+		for _, res := range results {
+			if err := emit(res); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
@@ -180,12 +263,31 @@ func run(w io.Writer, args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (want E1..E10 or all)", o.experiment)
 	}
-	t, err := r()
+	res, err := r()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, t.Render())
-	return nil
+	return emit(res)
+}
+
+// runE10 runs the long-horizon shift study, with checkpoint/resume when
+// requested.
+func runE10(o options) (*eval.Result, error) {
+	if o.checkpoint == "" && o.resume == "" {
+		return eval.ShiftStudy(o.seed, o.trials, o.parallel, o.shift, o.horizon, o.strategy)
+	}
+	total, err := eval.ShiftStudyTasks(o.trials, o.shift, o.horizon, o.strategy)
+	if err != nil {
+		return nil, err
+	}
+	fingerprint := eval.ShiftStudyFingerprint(o.seed, o.trials, o.shift, o.horizon, o.strategy)
+	ckpt, err := openCheckpoint(o, fingerprint,
+		fmt.Sprintf("E10 seed=%d trials=%d strategy=%s", o.seed, o.trials, o.strategy), total)
+	if err != nil {
+		return nil, err
+	}
+	defer ckpt.Close()
+	return eval.ShiftStudyCheckpointed(o.seed, o.trials, o.parallel, o.shift, o.horizon, o.strategy, ckpt)
 }
 
 // sweepAxes maps every valid -sweep dimension to its grid expansion.
@@ -217,13 +319,14 @@ func sweepAxisNames() []string {
 
 // parseSweep validates every requested dimension up front — before any
 // trial runs — so a misspelled axis fails with the list of valid ones
-// instead of silently sweeping nothing.
-func parseSweep(dims string, seed int64, trials int) (runner.Grid, error) {
+// instead of silently sweeping nothing. The returned dims string is the
+// normalized axis list (fingerprint input).
+func parseSweep(dims string, seed int64, trials int) (runner.Grid, string, error) {
 	grid := runner.Grid{
 		Base:  core.Config{Mechanism: core.Defrag, PoisonQuery: 12},
 		Seeds: runner.Seeds(seed, trials),
 	}
-	requested := 0
+	var requested []string
 	for _, dim := range strings.Split(dims, ",") {
 		dim = strings.TrimSpace(dim)
 		if dim == "" {
@@ -231,35 +334,51 @@ func parseSweep(dims string, seed int64, trials int) (runner.Grid, error) {
 		}
 		expand, ok := sweepAxes[dim]
 		if !ok {
-			return grid, fmt.Errorf("unknown sweep dimension %q (valid axes: %s)",
+			return grid, "", fmt.Errorf("unknown sweep dimension %q (valid axes: %s)",
 				dim, strings.Join(sweepAxisNames(), ", "))
 		}
 		expand(&grid)
-		requested++
+		requested = append(requested, dim)
 	}
-	if requested == 0 {
-		return grid, fmt.Errorf("-sweep lists no dimensions (valid axes: %s)",
+	if len(requested) == 0 {
+		return grid, "", fmt.Errorf("-sweep lists no dimensions (valid axes: %s)",
 			strings.Join(sweepAxisNames(), ", "))
 	}
-	return grid, nil
+	return grid, strings.Join(requested, ","), nil
 }
 
 // runSweep expands the requested dimensions into a runner.Grid, fans it
 // across the worker pool, and prints one aggregate row per grid point.
-func runSweep(w io.Writer, dims string, seed int64, trials, parallel int) error {
-	grid, err := parseSweep(dims, seed, trials)
+func runSweep(w io.Writer, o options) error {
+	grid, normalized, err := parseSweep(o.sweep, o.seed, o.trials)
 	if err != nil {
 		return err
 	}
 	gridTrials := grid.Trials()
-	results, err := runner.Run(context.Background(), gridTrials, runner.Options{Parallel: parallel})
+	opts := runner.Options{Parallel: o.parallel}
+	if o.checkpoint != "" || o.resume != "" {
+		fingerprint := runner.Fingerprint(struct {
+			Mode   string `json:"mode"`
+			Dims   string `json:"dims"`
+			Seed   int64  `json:"seed"`
+			Trials int    `json:"trials"`
+		}{"sweep", normalized, o.seed, o.trials})
+		ckpt, err := openCheckpoint(o, fingerprint,
+			fmt.Sprintf("sweep %s seed=%d trials=%d", normalized, o.seed, o.trials), len(gridTrials))
+		if err != nil {
+			return err
+		}
+		defer ckpt.Close()
+		opts.Checkpoint = ckpt
+	}
+	results, err := runner.Run(context.Background(), gridTrials, opts)
 	if err != nil {
 		return err
 	}
 
 	t := &eval.Table{
 		ID:    "SWEEP",
-		Title: fmt.Sprintf("grid sweep over %s — %d points × %d trials", dims, len(runner.Points(gridTrials)), trials),
+		Title: fmt.Sprintf("grid sweep over %s — %d points × %d trials", o.sweep, len(runner.Points(gridTrials)), o.trials),
 		Columns: []string{
 			"point", "trials", "attacker-fraction", "pool-benign", "pool-malicious", "planted",
 		},

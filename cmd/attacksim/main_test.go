@@ -1,13 +1,18 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestParseSweepRejectsUnknownAxis(t *testing.T) {
 	for _, dims := range []string{"mechansim", "poisonquery,typo", "fleet"} {
-		_, err := parseSweep(dims, 1, 1)
+		_, _, err := parseSweep(dims, 1, 1)
 		if err == nil {
 			t.Fatalf("parseSweep(%q) accepted an unknown axis", dims)
 		}
@@ -21,14 +26,14 @@ func TestParseSweepRejectsUnknownAxis(t *testing.T) {
 
 func TestParseSweepRejectsEmpty(t *testing.T) {
 	for _, dims := range []string{"", " , ,"} {
-		if _, err := parseSweep(dims, 1, 1); err == nil {
+		if _, _, err := parseSweep(dims, 1, 1); err == nil {
 			t.Fatalf("parseSweep(%q) accepted an empty axis list", dims)
 		}
 	}
 }
 
 func TestParseSweepExpandsAxes(t *testing.T) {
-	grid, err := parseSweep(" mechanism , poisonquery,mitigation", 3, 2)
+	grid, normalized, err := parseSweep(" mechanism , poisonquery,mitigation", 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,6 +43,9 @@ func TestParseSweepExpandsAxes(t *testing.T) {
 	}
 	if len(grid.Seeds) != 2 || grid.Seeds[0] != 3 {
 		t.Fatalf("seeds not threaded: %v", grid.Seeds)
+	}
+	if normalized != "mechanism,poisonquery,mitigation" {
+		t.Fatalf("dims not normalized for fingerprinting: %q", normalized)
 	}
 }
 
@@ -127,5 +135,172 @@ func TestE10EndToEnd(t *testing.T) {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("E10 output missing %q:\n%s", want, out.String())
 		}
+	}
+}
+
+// TestUsageCoversAllFlags regenerates the help text from the flag set and
+// asserts every registered flag appears in it — the E9/E10 flags can never
+// again be missing from -help.
+func TestUsageCoversAllFlags(t *testing.T) {
+	var o options
+	fs := newFlagSet(&o)
+	var buf bytes.Buffer
+	fs.SetOutput(&buf)
+	fs.Usage()
+	help := buf.String()
+	fs.VisitAll(func(f *flag.Flag) {
+		if !strings.Contains(help, "-"+f.Name) {
+			t.Errorf("usage text omits registered flag -%s", f.Name)
+		}
+	})
+	for _, want := range []string{"-fleet", "-shift", "-strategy", "-checkpoint", "-resume"} {
+		if !strings.Contains(help, want) {
+			t.Errorf("usage text missing %s", want)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(&out, []string{"-experiment", "E3", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Schema  string `json:"schema"`
+		Kind    string `json:"kind"`
+		Meta    struct{ ID string }
+		Payload json.RawMessage `json:"payload"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &env); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out.String())
+	}
+	if env.Schema == "" || env.Kind != "forged-capacity" {
+		t.Fatalf("unexpected envelope: schema=%q kind=%q", env.Schema, env.Kind)
+	}
+	if err := run(&strings.Builder{}, []string{"-fleet", "-json"}); err == nil {
+		t.Fatal("-fleet -json should be rejected")
+	}
+}
+
+func TestCheckpointFlagValidation(t *testing.T) {
+	if err := run(&strings.Builder{}, []string{"-experiment", "E1", "-checkpoint", "x.json"}); err == nil ||
+		!strings.Contains(err.Error(), "E10") {
+		t.Fatalf("-checkpoint outside E10/-sweep should be rejected, got %v", err)
+	}
+	if err := run(&strings.Builder{}, []string{"-experiment", "E10", "-checkpoint", "a", "-resume", "b"}); err == nil {
+		t.Fatal("-checkpoint with -resume should be rejected")
+	}
+}
+
+// e10Args is the short E10 configuration the checkpoint tests share.
+func e10Args(extra ...string) []string {
+	args := []string{
+		"-experiment", "E10", "-seed", "3", "-trials", "2",
+		"-horizon", "6h", "-strategy", "greedy",
+	}
+	return append(args, extra...)
+}
+
+// TestE10CheckpointResumeBitIdentical is the acceptance-criterion test:
+// an E10 run checkpointed to a file, "killed" mid-run (the file truncated
+// to a prefix of completed trials plus a partial trailing line, exactly
+// what a mid-write kill leaves), and resumed with -resume produces output
+// bit-identical to an uninterrupted run.
+func TestE10CheckpointResumeBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+
+	// Reference: uninterrupted run, no checkpoint.
+	var ref strings.Builder
+	if err := run(&ref, e10Args()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full checkpointed run — output must already match.
+	full := filepath.Join(dir, "full.json")
+	var chk strings.Builder
+	if err := run(&chk, e10Args("-checkpoint", full)); err != nil {
+		t.Fatal(err)
+	}
+	if chk.String() != ref.String() {
+		t.Fatalf("checkpointed run differs from plain run:\n--- plain ---\n%s\n--- checkpointed ---\n%s", ref.String(), chk.String())
+	}
+
+	// Simulate the kill: keep the header and the first 5 completed-trial
+	// lines, then a torn partial write with no trailing newline.
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if len(lines) < 8 {
+		t.Fatalf("checkpoint has only %d lines, expected header + 16 trials", len(lines))
+	}
+	killed := filepath.Join(dir, "killed.json")
+	torn := strings.Join(lines[:6], "") + `{"index":14,"resul`
+	if err := os.WriteFile(killed, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume must complete the remaining trials and reproduce the bytes.
+	var res strings.Builder
+	if err := run(&res, e10Args("-resume", killed)); err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != ref.String() {
+		t.Fatalf("resumed run is not bit-identical to the uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", ref.String(), res.String())
+	}
+}
+
+// TestE10ResumeRejectsOtherConfig ensures a checkpoint written under one
+// configuration cannot silently poison a different run.
+func TestE10ResumeRejectsOtherConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	if err := run(&strings.Builder{}, e10Args("-checkpoint", path)); err != nil {
+		t.Fatal(err)
+	}
+	err := run(&strings.Builder{}, []string{
+		"-experiment", "E10", "-seed", "4", "-trials", "2",
+		"-horizon", "6h", "-strategy", "greedy", "-resume", path,
+	})
+	if err == nil || !strings.Contains(err.Error(), "different run configuration") {
+		t.Fatalf("resume under a different seed should be rejected, got %v", err)
+	}
+}
+
+// TestSweepCheckpointResume exercises the core.Result checkpoint path
+// through the -sweep mode.
+func TestSweepCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	args := func(extra ...string) []string {
+		return append([]string{"-sweep", "mechanism", "-seed", "2"}, extra...)
+	}
+	var ref strings.Builder
+	if err := run(&ref, args()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sweep.json")
+	var chk strings.Builder
+	if err := run(&chk, args("-checkpoint", path)); err != nil {
+		t.Fatal(err)
+	}
+	if chk.String() != ref.String() {
+		t.Fatal("checkpointed sweep differs from plain sweep")
+	}
+	// Drop the last completed trial and resume.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if err := os.WriteFile(path, []byte(strings.Join(lines[:len(lines)-2], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var res strings.Builder
+	if err := run(&res, args("-resume", path)); err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != ref.String() {
+		t.Fatalf("resumed sweep is not bit-identical:\n--- plain ---\n%s\n--- resumed ---\n%s", ref.String(), res.String())
 	}
 }

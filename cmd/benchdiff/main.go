@@ -1,0 +1,302 @@
+// Command benchdiff closes the benchmark loop: it parses `go test -bench`
+// text output into a committed BENCH_<rev>.json trajectory point and
+// compares two such points, failing (exit 1) when a throughput bar
+// regresses by more than the threshold.
+//
+// Record a trajectory point:
+//
+//	go test -bench 'FleetScale|ShiftEngine' -benchtime 1x -run '^$' . > bench.txt
+//	go run ./cmd/benchdiff -parse bench.txt -rev $(git rev-parse --short=12 HEAD) -out bench/BENCH_$(git rev-parse --short=12 HEAD).json
+//
+// Gate the current tree against the committed trajectory:
+//
+//	go run ./cmd/benchdiff -parse bench.txt -rev work -out current.json
+//	go run ./cmd/benchdiff -baseline-dir bench -current current.json -threshold 0.20
+//
+// Only higher-is-better rate metrics (units ending in "/sec", e.g. the
+// fleet engine's clients/sec and the shift engine's rounds/sec) are
+// gated; ns/op and informational metrics (subverted-fraction,
+// target-rounds/sec) are recorded but never fail the diff.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchSchema versions the BENCH_<rev>.json format.
+const BenchSchema = "chronosntp/bench/v1"
+
+// Point is one benchmark's measurements: the benchmark name (with the
+// -GOMAXPROCS suffix stripped so files from different machines compare)
+// and every reported metric keyed by unit.
+type Point struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is a committed trajectory point: every benchmark measured at one
+// revision.
+type File struct {
+	Schema   string  `json:"schema"`
+	Rev      string  `json:"rev"`
+	UnixTime int64   `json:"unix_time"`
+	Points   []Point `json:"points"`
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkFleetScale/clients=1000-8  12  95000000 ns/op  105263 clients/sec
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// gomaxprocsSuffix is the trailing -N the testing package appends.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads `go test -bench` text output into Points. Non-benchmark
+// lines (goos/goarch/pkg headers, PASS, ok) are skipped.
+func parseBench(r io.Reader) ([]Point, error) {
+	var points []Point
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		p := Point{
+			Name:       gomaxprocsSuffix.ReplaceAllString(m[1], ""),
+			Iterations: iters,
+			Metrics:    make(map[string]float64),
+		}
+		fields := strings.Fields(m[3])
+		if len(fields)%2 != 0 {
+			return nil, fmt.Errorf("benchdiff: odd value/unit pairing in %q", sc.Text())
+		}
+		for i := 0; i < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad metric value in %q: %w", sc.Text(), err)
+			}
+			p.Metrics[fields[i+1]] = v
+		}
+		points = append(points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("benchdiff: no benchmark lines found (did the bench run emit anything?)")
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Name < points[j].Name })
+	return points, nil
+}
+
+// gated reports whether a metric unit participates in the regression
+// gate: only higher-is-better rates. target-rounds/sec is the documented
+// acceptance bar the shift benchmark reports as a constant, not a
+// measurement.
+func gated(unit string) bool {
+	return strings.HasSuffix(unit, "/sec") && !strings.HasPrefix(unit, "target-")
+}
+
+// regression is one gated metric that fell below baseline × (1 − threshold).
+type regression struct {
+	name, unit     string
+	base, cur, rel float64
+}
+
+// compare diffs current against baseline. Benchmarks present only on one
+// side are reported (a silently vanishing throughput bar is itself a
+// regression in coverage) but only vanished ones fail the gate.
+func compare(w io.Writer, baseline, current *File, threshold float64) (failed bool) {
+	base := make(map[string]Point, len(baseline.Points))
+	for _, p := range baseline.Points {
+		base[p.Name] = p
+	}
+	var regs []regression
+	seen := make(map[string]bool)
+	for _, cur := range current.Points {
+		bp, ok := base[cur.Name]
+		if !ok {
+			fmt.Fprintf(w, "new       %-60s (no baseline at %s)\n", cur.Name, baseline.Rev)
+			continue
+		}
+		seen[cur.Name] = true
+		for unit, bv := range bp.Metrics {
+			if !gated(unit) || bv <= 0 {
+				continue
+			}
+			cv, ok := cur.Metrics[unit]
+			if !ok {
+				fmt.Fprintf(w, "MISSING   %-60s %s gone from current run\n", cur.Name, unit)
+				failed = true
+				continue
+			}
+			rel := cv/bv - 1
+			status := "ok"
+			if cv < bv*(1-threshold) {
+				status = "REGRESSED"
+				regs = append(regs, regression{cur.Name, unit, bv, cv, rel})
+			}
+			fmt.Fprintf(w, "%-9s %-60s %-14s %12.4g -> %12.4g (%+.1f%%)\n",
+				status, cur.Name, unit, bv, cv, 100*rel)
+		}
+	}
+	for _, p := range baseline.Points {
+		if !seen[p.Name] {
+			if _, isNew := base[p.Name]; isNew {
+				fmt.Fprintf(w, "VANISHED  %-60s present at %s, absent now\n", p.Name, baseline.Rev)
+				failed = true
+			}
+		}
+	}
+	if len(regs) > 0 {
+		failed = true
+		fmt.Fprintf(w, "\n%d throughput bar(s) regressed more than %.0f%% vs %s:\n",
+			len(regs), 100*threshold, baseline.Rev)
+		for _, r := range regs {
+			fmt.Fprintf(w, "  %s %s: %.4g -> %.4g (%+.1f%%)\n", r.name, r.unit, r.base, r.cur, 100*r.rel)
+		}
+	}
+	return failed
+}
+
+// readFile loads and validates a trajectory point.
+func readFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchdiff: %s: %w", path, err)
+	}
+	if f.Schema != BenchSchema {
+		return nil, fmt.Errorf("benchdiff: %s: schema %q, want %q", path, f.Schema, BenchSchema)
+	}
+	if len(f.Points) == 0 {
+		return nil, fmt.Errorf("benchdiff: %s holds no benchmark points", path)
+	}
+	return &f, nil
+}
+
+// latestBaseline picks the newest BENCH_*.json in dir by recorded time.
+func latestBaseline(dir string) (*File, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("benchdiff: no BENCH_*.json trajectory in %s", dir)
+	}
+	var newest *File
+	for _, p := range paths {
+		f, err := readFile(p)
+		if err != nil {
+			return nil, err
+		}
+		if newest == nil || f.UnixTime > newest.UnixTime {
+			newest = f
+		}
+	}
+	return newest, nil
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		parse       = fs.String("parse", "", "path to `go test -bench` text output to parse ('-' for stdin)")
+		rev         = fs.String("rev", "", "revision label to stamp into the parsed trajectory point")
+		out         = fs.String("out", "", "write the parsed BENCH json to this path (default stdout)")
+		baseline    = fs.String("baseline", "", "baseline BENCH json to compare against")
+		baselineDir = fs.String("baseline-dir", "", "directory of BENCH_*.json files; the newest is the baseline")
+		current     = fs.String("current", "", "current BENCH json to compare")
+		threshold   = fs.Float64("threshold", 0.20, "relative throughput drop that fails the gate")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *parse != "":
+		in := os.Stdin
+		if *parse != "-" {
+			f, err := os.Open(*parse)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		points, err := parseBench(in)
+		if err != nil {
+			return err
+		}
+		file := File{Schema: BenchSchema, Rev: *rev, UnixTime: time.Now().Unix(), Points: points}
+		blob, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if *out == "" {
+			_, err = w.Write(blob)
+			return err
+		}
+		return os.WriteFile(*out, blob, 0o644)
+
+	case *current != "":
+		cur, err := readFile(*current)
+		if err != nil {
+			return err
+		}
+		var base *File
+		switch {
+		case *baseline != "":
+			base, err = readFile(*baseline)
+		case *baselineDir != "":
+			base, err = latestBaseline(*baselineDir)
+		default:
+			return fmt.Errorf("benchdiff: -current needs -baseline or -baseline-dir")
+		}
+		if err != nil {
+			return err
+		}
+		if *threshold <= 0 || *threshold >= 1 {
+			return fmt.Errorf("benchdiff: -threshold must be in (0,1), got %g", *threshold)
+		}
+		fmt.Fprintf(w, "baseline %s vs current %s (gate: -%.0f%% on */sec bars)\n",
+			base.Rev, cur.Rev, 100**threshold)
+		if compare(w, base, cur, *threshold) {
+			return fmt.Errorf("benchdiff: throughput regression vs %s", base.Rev)
+		}
+		fmt.Fprintln(w, "no regressions")
+		return nil
+
+	default:
+		fs.Usage()
+		return fmt.Errorf("benchdiff: nothing to do — pass -parse or -current")
+	}
+}
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

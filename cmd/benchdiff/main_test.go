@@ -1,0 +1,217 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sampleBench mimics real `go test -bench` output, including headers, a
+// GOMAXPROCS suffix, custom rate metrics, and the PASS trailer.
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: chronosntp
+cpu: shared runner
+BenchmarkFleetScale/clients=1000-8         	      12	  95000000 ns/op	    105263 clients/sec	         0.42 subverted-fraction
+BenchmarkFleetScale/clients=10000-8        	       3	 310000000 ns/op	     96774 clients/sec	         0.42 subverted-fraction
+BenchmarkShiftEngine/honest-majority-8     	       5	 220000000 ns/op	    227000 rounds/sec	    100000 target-rounds/sec
+PASS
+ok  	chronosntp	4.192s
+`
+
+func TestParseBench(t *testing.T) {
+	points, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("parsed %d points, want 3", len(points))
+	}
+	p := points[0]
+	if p.Name != "BenchmarkFleetScale/clients=1000" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", p.Name)
+	}
+	if p.Iterations != 12 {
+		t.Errorf("iterations = %d, want 12", p.Iterations)
+	}
+	if p.Metrics["clients/sec"] != 105263 {
+		t.Errorf("clients/sec = %g", p.Metrics["clients/sec"])
+	}
+	if p.Metrics["ns/op"] != 95000000 {
+		t.Errorf("ns/op = %g", p.Metrics["ns/op"])
+	}
+	if _, err := parseBench(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("empty bench output accepted")
+	}
+}
+
+func TestGatedUnits(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"clients/sec":        true,
+		"rounds/sec":         true,
+		"trials/sec":         true,
+		"ns/op":              false,
+		"B/op":               false,
+		"subverted-fraction": false,
+		"target-rounds/sec":  false, // documented constant, not a measurement
+		"trials/grid":        false,
+	} {
+		if gated(unit) != want {
+			t.Errorf("gated(%q) = %v, want %v", unit, !want, want)
+		}
+	}
+}
+
+// writeBenchFile stores a File with the given throughput numbers.
+func writeBenchFile(t *testing.T, path, rev string, clientsPerSec, roundsPerSec float64) {
+	t.Helper()
+	f := File{
+		Schema: BenchSchema, Rev: rev, UnixTime: 1700000000,
+		Points: []Point{
+			{Name: "BenchmarkFleetScale/clients=1000", Iterations: 10, Metrics: map[string]float64{
+				"ns/op": 1e8, "clients/sec": clientsPerSec, "subverted-fraction": 0.42,
+			}},
+			{Name: "BenchmarkShiftEngine/honest-majority", Iterations: 5, Metrics: map[string]float64{
+				"ns/op": 2e8, "rounds/sec": roundsPerSec, "target-rounds/sec": 100000,
+			}},
+		},
+	}
+	blob, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareFailsOnSyntheticRegression is the acceptance criterion: a
+// synthetic 20%+ throughput drop makes benchdiff exit non-zero, while a
+// small wobble passes.
+func TestCompareFailsOnSyntheticRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_base.json")
+	writeBenchFile(t, base, "base", 100000, 200000)
+
+	// 25% drop in clients/sec: must fail.
+	bad := filepath.Join(dir, "bad.json")
+	writeBenchFile(t, bad, "bad", 75000, 200000)
+	var out strings.Builder
+	err := run(&out, []string{"-baseline", base, "-current", bad})
+	if err == nil {
+		t.Fatalf("25%% regression passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") || !strings.Contains(out.String(), "clients/sec") {
+		t.Errorf("regression report unhelpful:\n%s", out.String())
+	}
+
+	// 10% wobble: within the 20% threshold, must pass.
+	ok := filepath.Join(dir, "ok.json")
+	writeBenchFile(t, ok, "ok", 90000, 190000)
+	out.Reset()
+	if err := run(&out, []string{"-baseline", base, "-current", ok}); err != nil {
+		t.Fatalf("10%% wobble failed the gate: %v\n%s", err, out.String())
+	}
+
+	// ns/op regressions are informational only: tripling ns/op with
+	// steady throughput passes.
+	slow := filepath.Join(dir, "slow.json")
+	f := File{Schema: BenchSchema, Rev: "slow", UnixTime: 1700000001, Points: []Point{
+		{Name: "BenchmarkFleetScale/clients=1000", Iterations: 3, Metrics: map[string]float64{
+			"ns/op": 3e8, "clients/sec": 99000, "subverted-fraction": 0.42}},
+		{Name: "BenchmarkShiftEngine/honest-majority", Iterations: 5, Metrics: map[string]float64{
+			"ns/op": 6e8, "rounds/sec": 195000, "target-rounds/sec": 100000}},
+	}}
+	blob, _ := json.MarshalIndent(f, "", "  ")
+	if err := os.WriteFile(slow, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(&out, []string{"-baseline", base, "-current", slow}); err != nil {
+		t.Fatalf("ns/op-only slowdown failed the throughput gate: %v\n%s", err, out.String())
+	}
+}
+
+// TestCompareFailsOnVanishedBar: a benchmark present in the baseline but
+// absent from the current run fails the gate — coverage can't silently
+// shrink.
+func TestCompareFailsOnVanishedBar(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "BENCH_base.json")
+	writeBenchFile(t, base, "base", 100000, 200000)
+
+	f := File{Schema: BenchSchema, Rev: "partial", UnixTime: 1700000002, Points: []Point{
+		{Name: "BenchmarkFleetScale/clients=1000", Iterations: 10, Metrics: map[string]float64{
+			"ns/op": 1e8, "clients/sec": 100000}},
+	}}
+	blob, _ := json.MarshalIndent(f, "", "  ")
+	cur := filepath.Join(dir, "partial.json")
+	if err := os.WriteFile(cur, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(&out, []string{"-baseline", base, "-current", cur}); err == nil {
+		t.Fatalf("vanished benchmark passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "VANISHED") {
+		t.Errorf("vanished benchmark not reported:\n%s", out.String())
+	}
+}
+
+// TestParseModeRoundTrip: -parse emits a file readable by -baseline, and
+// -baseline-dir picks the newest trajectory point.
+func TestParseModeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(raw, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	benchDir := filepath.Join(dir, "bench")
+	if err := os.Mkdir(benchDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	out1 := filepath.Join(benchDir, "BENCH_abc.json")
+	var sb strings.Builder
+	if err := run(&sb, []string{"-parse", raw, "-rev", "abc", "-out", out1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Rev != "abc" || f.Schema != BenchSchema || len(f.Points) != 3 {
+		t.Fatalf("parsed file malformed: rev=%q schema=%q points=%d", f.Rev, f.Schema, len(f.Points))
+	}
+
+	// An older sibling must lose the -baseline-dir race.
+	writeBenchFile(t, filepath.Join(benchDir, "BENCH_old.json"), "old", 1, 1)
+	old, err := readFile(filepath.Join(benchDir, "BENCH_old.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.UnixTime >= f.UnixTime {
+		t.Skip("clock skew makes ordering untestable here")
+	}
+	sb.Reset()
+	if err := run(&sb, []string{"-baseline-dir", benchDir, "-current", out1}); err != nil {
+		t.Fatalf("self-comparison against newest baseline failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "baseline abc") {
+		t.Errorf("-baseline-dir did not pick the newest point:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsBadInvocations(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-current", "nope.json"},
+		{"-baseline", "a.json", "-current", "b.json", "-threshold", "0"},
+		{"-baseline", "a.json", "-current", "b.json", "-threshold", "1.5"},
+	} {
+		if err := run(&strings.Builder{}, args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

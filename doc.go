@@ -59,4 +59,10 @@
 // regenerates every paper artefact as a benchmark and tracks the
 // runner's trials/sec, the fleet engine's clients/sec, and the shift
 // engine's rounds/sec.
+//
+// EXPERIMENTS.md catalogs every experiment (claim, invocation, typed
+// payload schema); it is generated from internal/eval by the directive
+// below and gated against staleness in CI.
+//
+//go:generate go run ./cmd/genexperiments -out EXPERIMENTS.md
 package chronosntp

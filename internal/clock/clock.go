@@ -11,6 +11,17 @@
 // per-adjustment amortisation handled by the caller (the NTP discipline);
 // keeping the clock itself piecewise-linear keeps the event-driven
 // simulation exact and reproducible.
+//
+// The piecewise-linear model is what every layer above builds on: honest
+// ntpserver hosts answer queries from a Clock with small random offset
+// and ppm drift, the ntpclient/chronos disciplines Step their local
+// Clock from measured offsets, and the experiments read Offset directly
+// as the ground-truth clock error — no estimation is involved, because
+// the simulator owns the reference timeline. That is also why attack
+// outcomes ("shifted by > 100 ms") are exact measurements rather than
+// inferences. The shiftsim engine advances the same model over years of
+// virtual time; nothing in the clock accumulates floating-point error
+// with the number of readings, only with the number of Steps.
 package clock
 
 import (

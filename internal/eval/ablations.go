@@ -2,7 +2,6 @@ package eval
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"chronosntp/internal/analysis"
@@ -21,15 +20,11 @@ import (
 //
 // The scenario-backed TTL rows are Monte-Carlo runs over `trials` seeds;
 // the remaining rows are closed-form.
-func Ablations(seed int64, trials, parallel int) (*Table, error) {
+func Ablations(seed int64, trials, parallel int) (*Result, error) {
 	if trials < 1 {
 		trials = 1
 	}
-	t := &Table{
-		ID:      "E8",
-		Title:   "Ablations — what each attack ingredient buys",
-		Columns: []string{"ablation", "setting", "outcome"},
-	}
+	p := &AblationsPayload{}
 
 	// Forged-TTL pinning.
 	ttls := []time.Duration{7 * 24 * time.Hour, 150 * time.Second}
@@ -57,30 +52,30 @@ func Ablations(seed int64, trials, parallel int) (*Table, error) {
 			malicious = append(malicious, float64(r.PoolMalicious))
 			fraction = append(fraction, r.AttackerFraction)
 		}
-		t.AddRow("forged TTL", ttl.String(),
-			fmt.Sprintf("final pool %sb+%sM, attacker %s",
-				fmtCount(describe(benign)), fmtCount(describe(malicious)), fmtFrac(describe(fraction))))
+		p.TTL = append(p.TTL, TTLAblation{
+			TTL:    ttl,
+			Benign: describe(benign), Malicious: describe(malicious), Fraction: describe(fraction),
+		})
 	}
 
 	// Sample-size sensitivity at the poisoned pool.
 	for _, m := range []int{9, 15, 27} {
-		p := analysis.RoundWinProb(133, 89, m, m/3)
-		t.AddRow("chronos sample size (poisoned pool)", fmt.Sprintf("m=%d d=%d", m, m/3),
-			fmt.Sprintf("round capture prob %.3f", p))
+		p.SampleSizes = append(p.SampleSizes, SampleSizeAblation{
+			SampleSize:  m,
+			Trim:        m / 3,
+			CaptureProb: Float(analysis.RoundWinProb(133, 89, m, m/3)),
+		})
 	}
 
 	// Capture probability across attacker fractions for fixed m.
 	for _, mal := range []int{30, 60, 89, 120} {
 		pool := 44 + mal
-		p := analysis.RoundWinProb(pool, mal, 15, 5)
-		t.AddRow("injected addresses (44 benign fixed)", fmt.Sprintf("%d malicious", mal),
-			fmt.Sprintf("fraction %.3f, capture prob %.3g", float64(mal)/float64(pool), p))
+		p.Injections = append(p.Injections, InjectionAblation{
+			Malicious: mal, Pool: pool,
+			Fraction:    Float(float64(mal) / float64(pool)),
+			CaptureProb: Float(analysis.RoundWinProb(pool, mal, 15, 5)),
+		})
 	}
 
-	t.Notes = append(t.Notes,
-		"TTL pinning is what freezes the pool: with a 150 s forged TTL the benign count keeps growing past the poisoning",
-		"capture probability is a threshold phenomenon in the pool fraction, not in m — matching the paper's 2/3 framing",
-	)
-	mcNote(t, trials)
-	return t, nil
+	return &Result{Meta: newMeta("E8", seed, trials), Payload: p}, nil
 }

@@ -23,10 +23,11 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestFigure1Experiment(t *testing.T) {
-	tbl, err := Figure1(301, 1, 1)
+	res, err := Figure1(301, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	if len(tbl.Rows) != 24 {
 		t.Fatalf("rows = %d, want 24", len(tbl.Rows))
 	}
@@ -41,10 +42,11 @@ func TestFigure1Experiment(t *testing.T) {
 }
 
 func TestAttackWindowExperiment(t *testing.T) {
-	tbl, err := AttackWindow(302, 1, 1)
+	res, err := AttackWindow(302, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	if len(tbl.Rows) != 24 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -58,10 +60,11 @@ func TestAttackWindowExperiment(t *testing.T) {
 }
 
 func TestMaxAddressesExperiment(t *testing.T) {
-	tbl, err := MaxAddresses()
+	res, err := MaxAddresses()
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	found89 := false
 	for _, row := range tbl.Rows {
 		if row[0] == "1472" && row[2] == "89" {
@@ -74,10 +77,11 @@ func TestMaxAddressesExperiment(t *testing.T) {
 }
 
 func TestChronosSecurityExperiment(t *testing.T) {
-	tbl, err := ChronosSecurity()
+	res, err := ChronosSecurity()
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	if len(tbl.Rows) != 5 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -89,10 +93,11 @@ func TestChronosSecurityExperiment(t *testing.T) {
 }
 
 func TestFragmentationStudyExperiment(t *testing.T) {
-	tbl, err := FragmentationStudy(303, 1, 1)
+	res, err := FragmentationStudy(303, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	want := map[string]string{
 		"fragment at MTU 548":                        "16/30",
 		"accept fragments of some size":              "90%",
@@ -113,10 +118,11 @@ func TestFragmentationStudyExperiment(t *testing.T) {
 }
 
 func TestMitigationsExperiment(t *testing.T) {
-	tbl, err := Mitigations(304, 1, 1)
+	res, err := Mitigations(304, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	if len(tbl.Rows) != 5 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -137,10 +143,11 @@ func TestMitigationsExperiment(t *testing.T) {
 }
 
 func TestAblationsExperiment(t *testing.T) {
-	tbl, err := Ablations(306, 1, 1)
+	res, err := Ablations(306, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	if len(tbl.Rows) != 9 {
 		t.Fatalf("rows = %d, want 9", len(tbl.Rows))
 	}
@@ -166,10 +173,11 @@ func TestTimeShiftExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-hour simulated sync phases")
 	}
-	tbl, err := TimeShift(305, 1, 1)
+	res, err := TimeShift(305, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	if len(tbl.Rows) != 3 {
 		t.Fatalf("rows = %d", len(tbl.Rows))
 	}
@@ -189,28 +197,30 @@ func TestFigure1MonteCarlo(t *testing.T) {
 	if serial.Render() != parallel.Render() {
 		t.Errorf("parallel-1 and parallel-8 tables differ:\n%s\n---\n%s", serial.Render(), parallel.Render())
 	}
+	st := serial.Table()
 	// Multi-trial cells carry the ± CI marker.
-	if !strings.Contains(serial.Rows[11][3], "±") {
-		t.Errorf("q12 fraction %q missing ± CI", serial.Rows[11][3])
+	if !strings.Contains(st.Rows[11][3], "±") {
+		t.Errorf("q12 fraction %q missing ± CI", st.Rows[11][3])
 	}
 	found := false
-	for _, n := range serial.Notes {
+	for _, n := range st.Notes {
 		if strings.Contains(n, "monte-carlo: 4 trials") {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("missing monte-carlo note: %v", serial.Notes)
+		t.Errorf("missing monte-carlo note: %v", st.Notes)
 	}
 }
 
 // TestMitigationsMonteCarlo keeps the §V verdicts stable across seeds: the
 // mitigated rows stay at zero malicious servers for every replica.
 func TestMitigationsMonteCarlo(t *testing.T) {
-	tbl, err := Mitigations(410, 3, 4)
+	res, err := Mitigations(410, 3, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	for _, i := range []int{1, 2, 3} {
 		if tbl.Rows[i][3] != "0.0 ± 0.0" {
 			t.Errorf("row %d (%s) malicious = %s, want 0.0 ± 0.0", i, tbl.Rows[i][0], tbl.Rows[i][3])

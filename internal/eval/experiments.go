@@ -3,7 +3,6 @@ package eval
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"time"
 
@@ -19,12 +18,16 @@ import (
 // the mean ± 95% CI across the replicas. trials = 1 reproduces the original
 // single-seed tables verbatim; the aggregates are bit-identical at any
 // parallelism.
+//
+// Every experiment returns a typed *Result (Meta + payload); the text
+// table is derived from the payload by Result.Table, so the JSON form and
+// the rendered table can never diverge.
 
 // Figure1 reproduces the paper's Figure 1: the Chronos pool composition
 // across the 24 hourly pool-generation queries with the defragmentation
 // poisoning landing at query 12. Paper: 44 benign + 89 malicious ⇒ the
 // attacker holds a 2/3 majority.
-func Figure1(seed int64, trials, parallel int) (*Table, error) {
+func Figure1(seed int64, trials, parallel int) (*Result, error) {
 	if trials < 1 {
 		trials = 1
 	}
@@ -36,11 +39,7 @@ func Figure1(seed int64, trials, parallel int) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:      "E1",
-		Title:   "Figure 1 — DNS poisoning attack on Chronos pool generation (poison at query 12)",
-		Columns: []string{"query", "benign", "malicious", "attacker-fraction"},
-	}
+	p := &Figure1Payload{Mechanism: results[0].Mechanism.String(), PoisonQuery: 12}
 	queries := len(results[0].PerQuery)
 	for q := 1; q <= queries; q++ {
 		benign, err := agg.Describe(runner.QueryMetric(q, "benign"))
@@ -55,35 +54,23 @@ func Figure1(seed int64, trials, parallel int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(q, fmtCount(benign), fmtCount(malicious), fmtFrac(fraction))
+		p.Queries = append(p.Queries, QueryAggregate{
+			Query: q, Benign: benign, Malicious: malicious, Fraction: fraction,
+		})
 	}
-	benign, _ := agg.Describe(runner.MetricPoolBenign)
-	malicious, _ := agg.Describe(runner.MetricPoolMalicious)
-	fraction, _ := agg.Describe(runner.MetricAttackerFraction)
-	planted, _ := agg.Describe(runner.MetricPoisonPlanted)
-	ideal := analysis.ComposePool(12, 24, 4, 89)
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("paper: up to 4·11 = 44 benign + 89 malicious (fraction %.3f ≥ 2/3)", ideal.Fraction),
-		fmt.Sprintf("measured: %s benign + %s malicious (fraction %s); benign < 44 only through pool-rotation repeats",
-			fmtCount(benign), fmtCount(malicious), fmtFrac(fraction)),
-		fmt.Sprintf("poisoning mechanism: %s, planted = %d/%d",
-			results[0].Mechanism, int(planted.Mean*float64(planted.N)+0.5), planted.N),
-	)
-	mcNote(t, trials)
-	return t, nil
+	p.Final.Benign, _ = agg.Describe(runner.MetricPoolBenign)
+	p.Final.Malicious, _ = agg.Describe(runner.MetricPoolMalicious)
+	p.Final.Fraction, _ = agg.Describe(runner.MetricAttackerFraction)
+	p.Planted, _ = agg.Describe(runner.MetricPoisonPlanted)
+	return &Result{Meta: newMeta("E1", seed, trials), Payload: p}, nil
 }
 
 // AttackWindow reproduces the §IV claim that poisoning any of the first 12
 // queries leaves the attacker with ≥ 2/3 of the pool: an analytical sweep
 // over the poisoned query index plus simulated spot checks.
-func AttackWindow(seed int64, trials, parallel int) (*Table, error) {
+func AttackWindow(seed int64, trials, parallel int) (*Result, error) {
 	if trials < 1 {
 		trials = 1
-	}
-	t := &Table{
-		ID:      "E2",
-		Title:   "Attack window — attacker pool fraction vs poisoned query index",
-		Columns: []string{"poison-query", "ideal-benign", "ideal-fraction", ">=2/3", "simulated-fraction"},
 	}
 	spot := []int{1, 6, 12, 13, 18, 24}
 	var gridTrials []runner.Trial
@@ -107,57 +94,32 @@ func AttackWindow(seed int64, trials, parallel int) (*Table, error) {
 		q := tr.Config.PoisonQuery
 		fractions[q] = append(fractions[q], results[i].AttackerFraction)
 	}
-	for q := 1; q <= 24; q++ {
-		c := analysis.ComposePool(q, 24, 4, 89)
-		sim := "-"
-		if xs, ok := fractions[q]; ok {
-			sim = fmtFrac(describe(xs))
-		}
-		t.AddRow(q, c.Benign, c.Fraction, c.Fraction >= 2.0/3.0, sim)
+	p := &AttackWindowPayload{Window: 24, PerResponse: 4, Injected: 89}
+	for _, q := range spot {
+		p.Simulated = append(p.Simulated, SimulatedFraction{Query: q, Fraction: describe(fractions[q])})
 	}
-	adv := analysis.CompareOpportunities(0.1, analysis.MaxPoisonQuery(24, 4, 89, 2.0/3.0))
-	t.Notes = append(t.Notes,
-		fmt.Sprintf("paper: success 'until or during the 12th DNS request' keeps ≥ 2/3; computed crossover = query %d",
-			analysis.MaxPoisonQuery(24, 4, 89, 2.0/3.0)),
-		fmt.Sprintf("'even easier than plain NTP': at 10%% per-attempt poisoning success, classic client P=%.2f vs Chronos P=%.2f (%.1f× the opportunities)",
-			adv.Classic, adv.Chronos, adv.Advantage),
-	)
-	mcNote(t, trials)
-	return t, nil
+	return &Result{Meta: newMeta("E2", seed, trials), Payload: p}, nil
 }
 
 // MaxAddresses reproduces the §IV claim "up to 89 [addresses] for a single
 // non-fragmented DNS response", straight from the wire encoder.
-func MaxAddresses() (*Table, error) {
+func MaxAddresses() (*Result, error) {
 	rows, err := analysis.RecordCapacityTable(core.PoolName)
 	if err != nil {
 		return nil, err
 	}
-	t := &Table{
-		ID:      "E3",
-		Title:   "Forged-response capacity — A records per single non-fragmented response",
-		Columns: []string{"udp-payload", "edns0", "max-A-records"},
-	}
+	p := &CapacityPayload{}
 	for _, r := range rows {
-		t.AddRow(r.Payload, r.EDNS, r.Records)
+		p.Rows = append(p.Rows, CapacityRow{Payload: r.Payload, EDNS: r.EDNS, Records: r.Records})
 	}
-	t.Notes = append(t.Notes,
-		"paper: 'up to 89 for a single non-fragmented DNS response' (1500-byte Ethernet MTU, EDNS0)",
-		"benign pool.ntp.org responses carry 4",
-	)
-	return t, nil
+	return &Result{Meta: newMeta("E3", 0, 0), Payload: p}, nil
 }
 
 // ChronosSecurity reproduces the §III claim that "to shift time on a
 // Chronos NTP client by 100ms a strong MitM attacker would need 20 years
 // of effort", and its collapse once DNS poisoning hands the attacker ≥ 2/3
 // of the pool. Closed form, with a Monte-Carlo cross-check where feasible.
-func ChronosSecurity() (*Table, error) {
-	t := &Table{
-		ID:      "E4",
-		Title:   "Chronos security bound — expected effort to shift a client by 100 ms",
-		Columns: []string{"pool", "malicious", "fraction", "round-win-prob", "consecutive-wins", "expected-effort", "years"},
-	}
+func ChronosSecurity() (*Result, error) {
 	const (
 		m        = 15
 		d        = 5
@@ -172,20 +134,17 @@ func ChronosSecurity() (*Table, error) {
 		{133, 67},  // half
 		{133, 89},  // the paper's poisoned pool (≥ 2/3)
 	}
+	p := &SecurityBoundPayload{}
 	for _, c := range cases {
 		st, err := analysis.YearsToShift(c.pool, c.mal, m, d, target, step, interval)
 		if err != nil {
 			return nil, err
 		}
-		// time.Duration saturates near 292 years; switch to years there.
-		effort := st.Expected.String()
-		if math.IsInf(st.Years, 1) {
-			effort = "never"
-		} else if st.Years > 250 {
-			effort = fmt.Sprintf("%.3g years", st.Years)
-		}
-		years := fmt.Sprintf("%.3g", st.Years)
-		t.AddRow(c.pool, c.mal, float64(c.mal)/float64(c.pool), fmt.Sprintf("%.3g", st.WinProb), st.ConsecutiveWins, effort, years)
+		p.Rows = append(p.Rows, SecurityBoundRow{
+			Pool: c.pool, Malicious: c.mal,
+			WinProb: Float(st.WinProb), ConsecutiveWins: st.ConsecutiveWins,
+			Expected: st.Expected, Years: Float(st.Years),
+		})
 	}
 	// Monte-Carlo cross-check in the fast (poisoned) regime.
 	rng := rand.New(rand.NewSource(11))
@@ -194,27 +153,18 @@ func ChronosSecurity() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Notes = append(t.Notes,
-		"paper (§III, citing Chronos NDSS'18): 'to shift time ... by 100ms a strong MitM attacker would need 20 years of effort'",
-		fmt.Sprintf("measured at the 1/3 boundary: see row 3 — years ≥ 20 reproduces the claim's order of magnitude"),
-		fmt.Sprintf("poisoned pool (89/133): %.1f expected rounds ≈ %.1f hours — the guarantee collapses", cf.ExpectedRounds, cf.ExpectedRounds),
-		fmt.Sprintf("monte-carlo cross-check (poisoned): %.1f rounds vs closed form %.1f", mc, cf.ExpectedRounds),
-	)
-	return t, nil
+	p.PoisonedExpectedRounds = Float(cf.ExpectedRounds)
+	p.MonteCarloRounds = Float(mc)
+	return &Result{Meta: newMeta("E4", 0, 0), Payload: p}, nil
 }
 
 // TimeShift reproduces the end-to-end contrast: the clock error reached on
 // a Chronos client with an honest pool, a Chronos client with the poisoned
 // pool, and a classic ≤4-server NTP client bootstrapped from the poisoned
 // resolver.
-func TimeShift(seed int64, trials, parallel int) (*Table, error) {
+func TimeShift(seed int64, trials, parallel int) (*Result, error) {
 	if trials < 1 {
 		trials = 1
-	}
-	t := &Table{
-		ID:      "E6",
-		Title:   "End-to-end time shift after a 2 h attack phase (adaptive below-threshold strategy)",
-		Columns: []string{"client", "pool", "final-offset", "max-offset"},
 	}
 	var gridTrials []runner.Trial
 	for k := 0; k < trials; k++ {
@@ -246,26 +196,17 @@ func TimeShift(seed int64, trials, parallel int) (*Table, error) {
 		}
 		return xs
 	}
-	hFinal := describe(collect("honest", func(r *core.Result) float64 { return float64(r.ChronosOffset) }))
-	hMax := describe(collect("honest", func(r *core.Result) float64 { return float64(r.ChronosMaxOffset) }))
-	t.AddRow("chronos", "honest (96 benign)", fmtDur(hFinal), fmtDur(hMax))
-
-	pFinal := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosOffset) }))
-	pMax := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosMaxOffset) }))
-	t.AddRow("chronos", "poisoned (44 benign + 89 malicious)", fmtDur(pFinal), fmtDur(pMax))
-	plain := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.PlainOffset) }))
-	t.AddRow("classic ntp (4 servers)", "poisoned (same resolver)", fmtDur(plain), "-")
-
-	updates := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosStats.Updates) }))
-	resamples := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosStats.Resamples) }))
-	panics := describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosStats.Panics) }))
-	t.Notes = append(t.Notes,
-		"paper: with ≥ 2/3 of the pool the attacker defeats both the normal path and panic mode; plain NTP falls with a single poisoning",
-		fmt.Sprintf("chronos stats (poisoned): updates=%s resamples=%s panics=%s",
-			fmtCount(updates), fmtCount(resamples), fmtCount(panics)),
-	)
-	mcNote(t, trials)
-	return t, nil
+	p := &TimeShiftPayload{
+		HonestFinal:   describe(collect("honest", func(r *core.Result) float64 { return float64(r.ChronosOffset) })),
+		HonestMax:     describe(collect("honest", func(r *core.Result) float64 { return float64(r.ChronosMaxOffset) })),
+		PoisonedFinal: describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosOffset) })),
+		PoisonedMax:   describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosMaxOffset) })),
+		PlainFinal:    describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.PlainOffset) })),
+		Updates:       describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosStats.Updates) })),
+		Resamples:     describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosStats.Resamples) })),
+		Panics:        describe(collect("poisoned", func(r *core.Result) float64 { return float64(r.ChronosStats.Panics) })),
+	}
+	return &Result{Meta: newMeta("E6", seed, trials), Payload: p}, nil
 }
 
 // MitigationToggles are the §V defence settings as runner grid toggles:
@@ -296,14 +237,9 @@ func MitigationToggles() []runner.Toggle {
 // Mitigations reproduces §V: the 4-address + TTL caps stop the single-shot
 // poisoning, multi-resolver consensus stops a single poisoned resolver,
 // but a persistent (24 h) DNS hijack still defeats everything.
-func Mitigations(seed int64, trials, parallel int) (*Table, error) {
+func Mitigations(seed int64, trials, parallel int) (*Result, error) {
 	if trials < 1 {
 		trials = 1
-	}
-	t := &Table{
-		ID:      "E7",
-		Title:   "§V mitigations — pool composition under each defence",
-		Columns: []string{"defence", "mechanism", "benign", "malicious", "attacker-fraction"},
 	}
 	names := []string{
 		"none (vulnerable)",
@@ -329,6 +265,7 @@ func Mitigations(seed int64, trials, parallel int) (*Table, error) {
 		return nil, err
 	}
 	groups := runner.ByPoint(gridTrials, results)
+	p := &MitigationsPayload{}
 	for _, name := range names {
 		rs := groups[name]
 		var benign, malicious, fraction []float64
@@ -337,15 +274,12 @@ func Mitigations(seed int64, trials, parallel int) (*Table, error) {
 			malicious = append(malicious, float64(r.PoolMalicious))
 			fraction = append(fraction, r.AttackerFraction)
 		}
-		t.AddRow(name, rs[0].Mechanism.String(),
-			fmtCount(describe(benign)), fmtCount(describe(malicious)), fmtFrac(describe(fraction)))
+		p.Rows = append(p.Rows, MitigationRow{
+			Defence: name, Mechanism: rs[0].Mechanism.String(),
+			Benign: describe(benign), Malicious: describe(malicious), Fraction: describe(fraction),
+		})
 	}
-	t.Notes = append(t.Notes,
-		"paper §V: capping addresses and TTLs 'can be improved to limit the impact' ...",
-		"... 'however, even with these mitigations, the dependency on the insecure DNS still remains' — the 24 h hijack row",
-	)
-	mcNote(t, trials)
-	return t, nil
+	return &Result{Meta: newMeta("E7", seed, trials), Payload: p}, nil
 }
 
 // All runs every experiment (E5, the measurement study, lives in
@@ -353,26 +287,26 @@ func Mitigations(seed int64, trials, parallel int) (*Table, error) {
 // resolvers size its population, 0 = the 1000/10 defaults; E10, the
 // long-horizon shift study, in shiftstudy.go at its default target,
 // horizon and full strategy sweep).
-func All(seed int64, trials, parallel, clients, resolvers int) ([]*Table, error) {
-	var out []*Table
-	steps := []func() (*Table, error){
-		func() (*Table, error) { return Figure1(seed, trials, parallel) },
-		func() (*Table, error) { return AttackWindow(seed, trials, parallel) },
+func All(seed int64, trials, parallel, clients, resolvers int) ([]*Result, error) {
+	var out []*Result
+	steps := []func() (*Result, error){
+		func() (*Result, error) { return Figure1(seed, trials, parallel) },
+		func() (*Result, error) { return AttackWindow(seed, trials, parallel) },
 		MaxAddresses,
 		ChronosSecurity,
-		func() (*Table, error) { return FragmentationStudy(seed, trials, parallel) },
-		func() (*Table, error) { return TimeShift(seed, trials, parallel) },
-		func() (*Table, error) { return Mitigations(seed, trials, parallel) },
-		func() (*Table, error) { return Ablations(seed, trials, parallel) },
-		func() (*Table, error) { return FleetStudy(seed, trials, parallel, clients, resolvers) },
-		func() (*Table, error) { return ShiftStudy(seed, trials, parallel, 0, 0, "all") },
+		func() (*Result, error) { return FragmentationStudy(seed, trials, parallel) },
+		func() (*Result, error) { return TimeShift(seed, trials, parallel) },
+		func() (*Result, error) { return Mitigations(seed, trials, parallel) },
+		func() (*Result, error) { return Ablations(seed, trials, parallel) },
+		func() (*Result, error) { return FleetStudy(seed, trials, parallel, clients, resolvers) },
+		func() (*Result, error) { return ShiftStudy(seed, trials, parallel, 0, 0, "all") },
 	}
 	for _, step := range steps {
-		tbl, err := step()
+		res, err := step()
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, tbl)
+		out = append(out, res)
 	}
 	return out, nil
 }

@@ -2,7 +2,6 @@ package eval
 
 import (
 	"context"
-	"fmt"
 
 	"chronosntp/internal/fleet"
 	"chronosntp/internal/mitigation"
@@ -20,7 +19,7 @@ import (
 // Each trial is one full fleet run; shards fan out across the worker pool
 // and reduce in shard-index order, so the table is bit-identical at any
 // parallelism.
-func FleetStudy(seed int64, trials, parallel, clients, resolvers int) (*Table, error) {
+func FleetStudy(seed int64, trials, parallel, clients, resolvers int) (*Result, error) {
 	if trials < 1 {
 		trials = 1
 	}
@@ -36,15 +35,7 @@ func FleetStudy(seed int64, trials, parallel, clients, resolvers int) (*Table, e
 	}
 	dists := []fleet.Distribution{fleet.Zipf, fleet.Uniform}
 
-	t := &Table{
-		ID: "E9",
-		Title: fmt.Sprintf("Fleet-scale shared-resolver poisoning — %d clients behind %d resolvers",
-			clients, resolvers),
-		Columns: []string{
-			"poisoned", "fan-out", "mitigation",
-			"subverted(>=1/3)", "shifted(>100ms)", "amplification", "planted",
-		},
-	}
+	p := &FleetStudyPayload{Clients: clients, Resolvers: resolvers}
 	for _, poisoned := range poisonCounts {
 		for _, dist := range dists {
 			for _, mitigated := range []bool{false, true} {
@@ -70,22 +61,17 @@ func FleetStudy(seed int64, trials, parallel, clients, resolvers int) (*Table, e
 					amplification = append(amplification, res.Amplification)
 					planted = append(planted, float64(res.PlantedResolvers))
 				}
-				mitLabel := "off"
-				if mitigated {
-					mitLabel = "§V caps"
-				}
-				t.AddRow(poisoned, dist.String(), mitLabel,
-					fmtFrac(describe(subverted)), fmtFrac(describe(shifted)),
-					fmtCount(describe(amplification)), fmtOutOf(describe(planted), poisoned))
+				p.Rows = append(p.Rows, FleetRow{
+					Poisoned:      poisoned,
+					Distribution:  dist.String(),
+					Mitigated:     mitigated,
+					Subverted:     describe(subverted),
+					Shifted:       describe(shifted),
+					Amplification: describe(amplification),
+					Planted:       describe(planted),
+				})
 			}
 		}
 	}
-	t.Notes = append(t.Notes,
-		"subverted: clients whose Chronos pool ended ≥ 1/3 malicious (proof boundary) or whose classic bootstrap was majority-malicious",
-		"shifted: clients the attacker moves > 100 ms within 24 h (sampled empirically: shiftsim greedy runs over the measured pool)",
-		"amplification: clients subverted per poisoned resolver — the paper's population-level lever",
-		"the attacker poisons the largest resolvers first; under zipf fan-out one cache covers a large population slice",
-	)
-	mcNote(t, trials)
-	return t, nil
+	return &Result{Meta: newMeta("E9", seed, trials), Payload: p}, nil
 }

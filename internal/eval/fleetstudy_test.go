@@ -25,10 +25,11 @@ func TestFleetStudyDeterministicAcrossParallelism(t *testing.T) {
 }
 
 func TestFleetStudyShowsAmplification(t *testing.T) {
-	tbl, err := FleetStudy(1, 1, 0, 600, 6)
+	res, err := FleetStudy(1, 1, 0, 600, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	out := tbl.Render()
 	if !strings.Contains(out, "zipf") || !strings.Contains(out, "uniform") ||
 		!strings.Contains(out, "§V caps") {

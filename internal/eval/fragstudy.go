@@ -33,16 +33,10 @@ import (
 // exactly. With trials > 1 the three probe campaigns are re-run against
 // independently seeded populations (fanned across `parallel` workers) and
 // each marginal is reported as mean ± 95% CI.
-func FragmentationStudy(seed int64, trials, parallel int) (*Table, error) {
+func FragmentationStudy(seed int64, trials, parallel int) (*Result, error) {
 	if trials < 1 {
 		trials = 1
 	}
-	t := &Table{
-		ID:      "E5",
-		Title:   "DNS fragmentation & triggering study (synthetic populations, calibrated to [3])",
-		Columns: []string{"population", "property", "paper", "measured"},
-	}
-
 	fragServers := make([]float64, trials)
 	some := make([]float64, trials)
 	tiny := make([]float64, trials)
@@ -72,17 +66,13 @@ func FragmentationStudy(seed int64, trials, parallel int) (*Table, error) {
 		return nil, err
 	}
 
-	t.AddRow("30 pool.ntp.org nameservers", "fragment at MTU 548", "16/30", fmtOutOf(describe(fragServers), 30))
-	t.AddRow("100 resolvers", "accept fragments of some size", "90%", fmtPct(describe(some)))
-	t.AddRow("100 resolvers", "accept 68-byte-MTU fragments", "64%", fmtPct(describe(tiny)))
-	t.AddRow("100 resolver deployments", "queries triggerable via SMTP/open resolver", "14%", fmtPct(describe(triggerable)))
-
-	t.Notes = append(t.Notes,
-		"populations are synthetic with ground truth drawn to match the published marginals;",
-		"the probes exercise the same code paths the attacks use (PMTU forcing, reassembly, SMTP triggering)",
-	)
-	mcNote(t, trials)
-	return t, nil
+	p := &FragStudyPayload{
+		FragmentingNameservers: describe(fragServers),
+		AcceptAnyFragment:      describe(some),
+		AcceptTinyFragment:     describe(tiny),
+		Triggerable:            describe(triggerable),
+	}
+	return &Result{Meta: newMeta("E5", seed, trials), Payload: p}, nil
 }
 
 // bigTXT pads a zone response beyond 548 bytes so it fragments at reduced

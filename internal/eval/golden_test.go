@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -18,26 +19,28 @@ var update = flag.Bool("update", false, "rewrite the golden files under testdata
 // deterministic at any parallelism, so the frozen bytes are stable.
 func goldenCases() []struct {
 	name string
-	fn   func() (*Table, error)
+	fn   func() (*Result, error)
 } {
 	return []struct {
 		name string
-		fn   func() (*Table, error)
+		fn   func() (*Result, error)
 	}{
-		{"E1", func() (*Table, error) { return Figure1(1, 1, 1) }},
-		{"E2", func() (*Table, error) { return AttackWindow(1, 1, 1) }},
-		{"E5", func() (*Table, error) { return FragmentationStudy(1, 1, 1) }},
-		{"E6", func() (*Table, error) { return TimeShift(1, 1, 1) }},
-		{"E7", func() (*Table, error) { return Mitigations(1, 1, 1) }},
-		{"E8", func() (*Table, error) { return Ablations(1, 1, 1) }},
-		{"E9", func() (*Table, error) { return FleetStudy(1, 1, 1, 600, 6) }},
-		{"E10", func() (*Table, error) { return ShiftStudy(1, 1, 1, 0, 24*time.Hour, "all") }},
+		{"E1", func() (*Result, error) { return Figure1(1, 1, 1) }},
+		{"E2", func() (*Result, error) { return AttackWindow(1, 1, 1) }},
+		{"E5", func() (*Result, error) { return FragmentationStudy(1, 1, 1) }},
+		{"E6", func() (*Result, error) { return TimeShift(1, 1, 1) }},
+		{"E7", func() (*Result, error) { return Mitigations(1, 1, 1) }},
+		{"E8", func() (*Result, error) { return Ablations(1, 1, 1) }},
+		{"E9", func() (*Result, error) { return FleetStudy(1, 1, 1, 600, 6) }},
+		{"E10", func() (*Result, error) { return ShiftStudy(1, 1, 1, 0, 24*time.Hour, "all") }},
 	}
 }
 
 // TestGoldenTables byte-compares every experiment's trials=1 rendering
-// against its committed golden. Run with -update to regenerate after an
-// intentional change:
+// against its committed golden, then round-trips the typed Result through
+// JSON and asserts the re-rendered table still matches the same bytes —
+// so the serialized payload provably carries everything the table needs.
+// Run with -update to regenerate after an intentional change:
 //
 //	go test ./internal/eval -run TestGoldenTables -update
 func TestGoldenTables(t *testing.T) {
@@ -45,11 +48,11 @@ func TestGoldenTables(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			tbl, err := tc.fn()
+			res, err := tc.fn()
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := []byte(tbl.Render())
+			got := []byte(res.Render())
 			path := filepath.Join("testdata", tc.name+".golden")
 			if *update {
 				if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -68,6 +71,60 @@ func TestGoldenTables(t *testing.T) {
 				t.Fatalf("%s rendering drifted from golden %s.\n--- want ---\n%s\n--- got ---\n%s",
 					tc.name, path, want, got)
 			}
+
+			// JSON round-trip: marshal → unmarshal → re-render → same bytes.
+			blob, err := json.Marshal(res)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var back Result
+			if err := json.Unmarshal(blob, &back); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if back.Meta != res.Meta {
+				t.Fatalf("meta drifted through JSON: %+v vs %+v", back.Meta, res.Meta)
+			}
+			if rerendered := back.Render(); rerendered != string(want) {
+				t.Fatalf("%s table re-rendered from JSON differs from golden.\n--- want ---\n%s\n--- got ---\n%s",
+					tc.name, want, rerendered)
+			}
 		})
+	}
+}
+
+// TestResultJSONClosedForm round-trips the closed-form experiments (E3,
+// E4) that have no golden files; E4's payload carries the +Inf years the
+// eval.Float type must survive.
+func TestResultJSONClosedForm(t *testing.T) {
+	for _, fn := range []func() (*Result, error){MaxAddresses, ChronosSecurity} {
+		res, err := fn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(res)
+		if err != nil {
+			t.Fatalf("%s marshal: %v", res.Meta.ID, err)
+		}
+		var back Result
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatalf("%s unmarshal: %v", res.Meta.ID, err)
+		}
+		if back.Render() != res.Render() {
+			t.Fatalf("%s re-rendered table differs after JSON round-trip", res.Meta.ID)
+		}
+	}
+}
+
+// TestResultJSONRejectsForeign covers the envelope's failure modes.
+func TestResultJSONRejectsForeign(t *testing.T) {
+	var r Result
+	if err := json.Unmarshal([]byte(`{"schema":"other/v9","kind":"figure1","meta":{},"payload":{}}`), &r); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"schema":"`+ResultSchema+`","kind":"nope","meta":{},"payload":{}}`), &r); err == nil {
+		t.Error("unknown payload kind accepted")
+	}
+	if _, err := json.Marshal(&Result{Meta: Meta{ID: "EX"}}); err == nil {
+		t.Error("payload-less result marshalled")
 	}
 }

@@ -1,0 +1,180 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"strconv"
+)
+
+// ResultSchema versions the JSON envelope. Bump on incompatible payload
+// changes so stored trajectories can be told apart.
+const ResultSchema = "chronosntp/eval/v1"
+
+// Meta is the provenance block of a Result: which experiment produced it
+// and under which replication parameters. It is what a stored result needs
+// to be reproduced (`attacksim -experiment <ID> -seed <Seed> -trials
+// <Trials>`), and what table titles and Monte-Carlo notes are rendered
+// from.
+type Meta struct {
+	ID     string `json:"id"`                // E1..E10
+	Seed   int64  `json:"seed,omitempty"`    // first seed of the replica block (0 for closed-form experiments)
+	Trials int    `json:"trials,omitempty"`  // Monte-Carlo replicas per grid point (0 for closed-form experiments)
+	GitRev string `json:"git_rev,omitempty"` // vcs revision of the binary, when the build info carries one
+}
+
+// Payload is the typed, experiment-specific half of a Result: the grid
+// axes and the per-cell aggregates, with no formatting applied. The text
+// table is *derived* from it by Table, so rendered output can never hold
+// information the serialized form lost.
+type Payload interface {
+	// Kind is the stable JSON discriminator ("figure1", "shift-study", …).
+	Kind() string
+	// Table renders the payload as the experiment's text table.
+	Table(m Meta) *Table
+}
+
+// Result is one experiment's typed outcome: provenance plus payload. All
+// text tables the harness prints are rendered from a Result, and the same
+// struct round-trips through JSON (MarshalJSON / UnmarshalJSON) for the
+// results pipeline.
+type Result struct {
+	Meta    Meta
+	Payload Payload
+}
+
+// Table renders the result's table.
+func (r *Result) Table() *Table { return r.Payload.Table(r.Meta) }
+
+// Render renders the result's table as aligned text.
+func (r *Result) Render() string { return r.Table().Render() }
+
+// resultJSON is the stored envelope.
+type resultJSON struct {
+	Schema  string          `json:"schema"`
+	Meta    Meta            `json:"meta"`
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// MarshalJSON stores the result under the versioned envelope with the
+// payload's kind as discriminator.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	if r.Payload == nil {
+		return nil, fmt.Errorf("eval: result %s has no payload", r.Meta.ID)
+	}
+	raw, err := json.Marshal(r.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(resultJSON{
+		Schema:  ResultSchema,
+		Meta:    r.Meta,
+		Kind:    r.Payload.Kind(),
+		Payload: raw,
+	})
+}
+
+// UnmarshalJSON restores a result, reconstructing the concrete payload
+// type from the kind discriminator.
+func (r *Result) UnmarshalJSON(b []byte) error {
+	var env resultJSON
+	if err := json.Unmarshal(b, &env); err != nil {
+		return err
+	}
+	if env.Schema != ResultSchema {
+		return fmt.Errorf("eval: unsupported result schema %q (want %q)", env.Schema, ResultSchema)
+	}
+	factory, ok := payloadKinds[env.Kind]
+	if !ok {
+		return fmt.Errorf("eval: unknown payload kind %q", env.Kind)
+	}
+	payload := factory()
+	if err := json.Unmarshal(env.Payload, payload); err != nil {
+		return fmt.Errorf("eval: decoding %q payload: %w", env.Kind, err)
+	}
+	r.Meta = env.Meta
+	r.Payload = payload
+	return nil
+}
+
+// payloadKinds maps every kind discriminator to a factory for its zero
+// payload. Unmarshal and the experiment catalog both draw from it.
+var payloadKinds = map[string]func() Payload{
+	(&Figure1Payload{}).Kind():       func() Payload { return &Figure1Payload{} },
+	(&AttackWindowPayload{}).Kind():  func() Payload { return &AttackWindowPayload{} },
+	(&CapacityPayload{}).Kind():      func() Payload { return &CapacityPayload{} },
+	(&SecurityBoundPayload{}).Kind(): func() Payload { return &SecurityBoundPayload{} },
+	(&FragStudyPayload{}).Kind():     func() Payload { return &FragStudyPayload{} },
+	(&TimeShiftPayload{}).Kind():     func() Payload { return &TimeShiftPayload{} },
+	(&MitigationsPayload{}).Kind():   func() Payload { return &MitigationsPayload{} },
+	(&AblationsPayload{}).Kind():     func() Payload { return &AblationsPayload{} },
+	(&FleetStudyPayload{}).Kind():    func() Payload { return &FleetStudyPayload{} },
+	(&ShiftStudyPayload{}).Kind():    func() Payload { return &ShiftStudyPayload{} },
+}
+
+// newMeta stamps an experiment's provenance block.
+func newMeta(id string, seed int64, trials int) Meta {
+	return Meta{ID: id, Seed: seed, Trials: trials, GitRev: buildRevision()}
+}
+
+// buildRevision is the vcs revision baked into the running binary, if any
+// ("" under plain `go test` builds without VCS stamping).
+func buildRevision() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	return ""
+}
+
+// Float is a float64 whose JSON form survives ±Inf and NaN (stored as the
+// strings "+Inf", "-Inf", "NaN") — the E4 security bound legitimately
+// reaches +Inf years for sub-threshold attackers, which encoding/json
+// rejects on a bare float64.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("eval: non-finite float %q: %w", s, err)
+		}
+		*f = Float(v)
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"time"
@@ -30,10 +31,21 @@ import (
 // target/horizon default to 100 ms / 7 days; strategy "" or "all" sweeps
 // every registered strategy. Trials fan across the worker pool and reduce
 // by trial index, so the table is bit-identical at any parallelism.
-func ShiftStudy(seed int64, trials, parallel int, target, horizon time.Duration, strategy string) (*Table, error) {
-	if trials < 1 {
-		trials = 1
-	}
+func ShiftStudy(seed int64, trials, parallel int, target, horizon time.Duration, strategy string) (*Result, error) {
+	return ShiftStudyCheckpointed(seed, trials, parallel, target, horizon, strategy, nil)
+}
+
+// shiftPoint is one E10 grid point before execution.
+type shiftPoint struct {
+	pool, malicious int
+	strategy        string
+	mitigated       bool
+}
+
+// shiftGrid resolves the E10 defaults and expands the grid. The returned
+// addrCap is the §V client-side per-response address cap applied on the
+// mitigated axis.
+func shiftGrid(target, horizon time.Duration, strategy string) (points []shiftPoint, rTarget, rHorizon time.Duration, addrCap int, err error) {
 	if target == 0 {
 		target = 100 * time.Millisecond
 	}
@@ -43,7 +55,7 @@ func ShiftStudy(seed int64, trials, parallel int, target, horizon time.Duration,
 	strategyNames := shiftsim.Names()
 	if strategy != "" && strategy != "all" {
 		if _, err := shiftsim.ByName(strategy); err != nil {
-			return nil, err
+			return nil, 0, 0, 0, err
 		}
 		strategyNames = []string{strategy}
 	}
@@ -57,75 +69,123 @@ func ShiftStudy(seed int64, trials, parallel int, target, horizon time.Duration,
 		{133, 67},
 		{133, 89},
 	}
-	addrCap := mitigation.PaperClientPolicy().MaxAddrsPerResponse
+	addrCap = mitigation.PaperClientPolicy().MaxAddrsPerResponse
 
-	type point struct {
-		pool, malicious int
-		strategy        string
-		mitigated       bool
-	}
-	var points []point
 	for _, pc := range pools {
 		for _, sn := range strategyNames {
 			for _, mitigated := range []bool{false, true} {
-				points = append(points, point{pc.pool, pc.malicious, sn, mitigated})
+				points = append(points, shiftPoint{pc.pool, pc.malicious, sn, mitigated})
 			}
 		}
+	}
+	return points, target, horizon, addrCap, nil
+}
+
+// ShiftStudyTasks is the task count of an E10 run (grid points × trials) —
+// the Total a checkpoint for that run must be created with.
+func ShiftStudyTasks(trials int, target, horizon time.Duration, strategy string) (int, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	points, _, _, _, err := shiftGrid(target, horizon, strategy)
+	if err != nil {
+		return 0, err
+	}
+	return len(points) * trials, nil
+}
+
+// ShiftStudyFingerprint fingerprints an E10 run configuration over its
+// *resolved* parameters (defaults applied), so a checkpoint written at the
+// defaults resumes under the equivalent explicit flags and a checkpoint
+// from a different configuration is rejected.
+func ShiftStudyFingerprint(seed int64, trials int, target, horizon time.Duration, strategy string) string {
+	if trials < 1 {
+		trials = 1
+	}
+	if target == 0 {
+		target = 100 * time.Millisecond
+	}
+	if horizon == 0 {
+		horizon = 7 * 24 * time.Hour
+	}
+	if strategy == "" {
+		strategy = "all"
+	}
+	return runner.Fingerprint(struct {
+		Experiment string        `json:"experiment"`
+		Seed       int64         `json:"seed"`
+		Trials     int           `json:"trials"`
+		Target     time.Duration `json:"target"`
+		Horizon    time.Duration `json:"horizon"`
+		Strategy   string        `json:"strategy"`
+	}{"E10", seed, trials, target, horizon, strategy})
+}
+
+// ShiftStudyCheckpointed is ShiftStudy with optional checkpoint/resume:
+// with a non-nil ckpt every completed trial's shiftsim.Result is persisted
+// as it finishes, and trials the checkpoint already holds are restored
+// instead of re-run. Because each trial is deterministic given its seed
+// and the reduction is keyed by trial index, a resumed run's table is
+// bit-identical to an uninterrupted one.
+func ShiftStudyCheckpointed(seed int64, trials, parallel int, target, horizon time.Duration, strategy string, ckpt *runner.Checkpoint) (*Result, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	points, target, horizon, addrCap, err := shiftGrid(target, horizon, strategy)
+	if err != nil {
+		return nil, err
 	}
 
 	results := make([][]*shiftsim.Result, len(points))
 	for i := range results {
 		results[i] = make([]*shiftsim.Result, trials)
 	}
-	err := runner.ForEach(context.Background(), len(points)*trials, parallel, func(i int) error {
-		pi, k := i/trials, i%trials
-		p := points[pi]
-		pool, malicious := p.pool, p.malicious
-		if p.mitigated {
-			pool, malicious = mitigatedComposition(pool, malicious, addrCap)
-		}
-		strat, err := shiftsim.ByName(p.strategy)
-		if err != nil {
-			return err
-		}
-		res, err := shiftsim.Run(shiftsim.Config{
-			// Decorrelate the per-point seed blocks.
-			Seed:      seed + int64(pi)*10_007 + int64(k),
-			PoolSize:  pool,
-			Malicious: malicious,
-			Strategy:  strat,
-			Target:    target,
-			Horizon:   horizon,
-			RunLength: -1,
+	err = runner.ForEachCheckpointed(context.Background(), len(points)*trials, parallel, ckpt,
+		func(i int, raw json.RawMessage) error {
+			var res shiftsim.Result
+			if err := json.Unmarshal(raw, &res); err != nil {
+				return fmt.Errorf("eval: restoring E10 trial %d: %w", i, err)
+			}
+			results[i/trials][i%trials] = &res
+			return nil
+		},
+		func(i int) (interface{}, error) {
+			pi, k := i/trials, i%trials
+			p := points[pi]
+			pool, malicious := p.pool, p.malicious
+			if p.mitigated {
+				pool, malicious = mitigatedComposition(pool, malicious, addrCap)
+			}
+			strat, err := shiftsim.ByName(p.strategy)
+			if err != nil {
+				return nil, err
+			}
+			res, err := shiftsim.Run(shiftsim.Config{
+				// Decorrelate the per-point seed blocks.
+				Seed:      seed + int64(pi)*10_007 + int64(k),
+				PoolSize:  pool,
+				Malicious: malicious,
+				Strategy:  strat,
+				Target:    target,
+				Horizon:   horizon,
+				RunLength: -1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			results[pi][k] = res
+			return res, nil
 		})
-		if err != nil {
-			return err
-		}
-		results[pi][k] = res
-		return nil
-	})
 	if err != nil {
 		return nil, err
 	}
 
-	t := &Table{
-		ID: "E10",
-		Title: fmt.Sprintf("Long-horizon shift engine — empirical time to %v shift vs closed form (horizon %v)",
-			target, horizon),
-		Columns: []string{
-			"pool", "strategy", "mitigation",
-			"shifted", "time-to-shift", "rounds", "closed-form", "panics", "max-push",
-		},
-	}
+	payload := &ShiftStudyPayload{Target: target, Horizon: horizon, AddrCap: addrCap}
 	for pi, p := range points {
 		pool, malicious := p.pool, p.malicious
-		mitLabel := "off"
 		if p.mitigated {
 			pool, malicious = mitigatedComposition(pool, malicious, addrCap)
-			mitLabel = "§V caps"
 		}
-		closed := closedFormCell(pool, malicious, target)
-
 		var shifted int
 		var hits, times, rounds, panics, pushes []float64
 		for _, r := range results[pi] {
@@ -140,28 +200,15 @@ func ShiftStudy(seed int64, trials, parallel int, target, horizon time.Duration,
 			panics = append(panics, float64(r.Panics))
 			pushes = append(pushes, float64(r.MaxPush))
 		}
-		timeCell, roundCell := "> horizon", "-"
-		if shifted > 0 {
-			timeCell = fmtLongDur(describe(times))
-			roundCell = fmtCount(describe(rounds))
-		}
-		t.AddRow(
-			fmt.Sprintf("%d/%d (%.3f)", malicious, pool, float64(malicious)/float64(pool)),
-			p.strategy, mitLabel,
-			fmtFrac(describe(hits)),
-			timeCell, roundCell, closed,
-			fmtCount(describe(panics)), fmtDur(describe(pushes)),
-		)
+		payload.Rows = append(payload.Rows, ShiftRow{
+			Pool: pool, Malicious: malicious,
+			Strategy: p.strategy, Mitigated: p.mitigated,
+			Hit: describe(hits), ShiftedCount: shifted,
+			TimeToShift: describe(times), Rounds: describe(rounds),
+			Panics: describe(panics), MaxPush: describe(pushes),
+		})
 	}
-	t.Notes = append(t.Notes,
-		"closed-form: analysis.TimeToShift at the greedy per-round step (ErrBound − 5ms) — the E4 model; 'never' = win probability too small",
-		"shifted is the fraction of trials whose |clock error| crossed the target within the horizon; time-to-shift/rounds average the shifted trials only",
-		fmt.Sprintf("§V caps: the client-side mitigation truncates the poisoned response to %d addresses, re-deriving the composition", addrCap),
-		"max-push is the largest forward update a trial accepted — stealth stays at its 5ms drip where greedy jumps by full steps",
-		"the shiftsim cross-validation suite asserts the greedy (non-adaptive) rows agree with the closed form within the Monte-Carlo 95% CI",
-	)
-	mcNote(t, trials)
-	return t, nil
+	return &Result{Meta: newMeta("E10", seed, trials), Payload: payload}, nil
 }
 
 // fmtLongDur renders a minutes-to-hours duration metric (observed in

@@ -37,10 +37,11 @@ func TestShiftStudyDeterministicAcrossParallelism(t *testing.T) {
 // the horizon either way) are tail events and not asserted.
 func TestShiftStudyMatchesClosedFormRegimes(t *testing.T) {
 	const horizon = 24 * time.Hour
-	tbl, err := ShiftStudy(7, 3, 0, 0, horizon, "greedy")
+	res, err := ShiftStudy(7, 3, 0, 0, horizon, "greedy")
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	expect := func(pool, malicious int) string {
 		st, err := analysis.YearsToShift(pool, malicious, 15, 5,
 			100*time.Millisecond, 25*time.Millisecond, 64*time.Second)
@@ -84,10 +85,11 @@ func TestShiftStudyMatchesClosedFormRegimes(t *testing.T) {
 // TestShiftStudySweepsDimensions: the full E10 grid carries every
 // strategy, both mitigation settings, and the four pool fractions.
 func TestShiftStudySweepsDimensions(t *testing.T) {
-	tbl, err := ShiftStudy(1, 1, 0, 0, 12*time.Hour, "all")
+	res, err := ShiftStudy(1, 1, 0, 0, 12*time.Hour, "all")
 	if err != nil {
 		t.Fatal(err)
 	}
+	tbl := res.Table()
 	out := tbl.Render()
 	for _, want := range []string{
 		"greedy", "stealth", "intermittent", "honest-until-threshold",

@@ -1,8 +1,28 @@
-// Package eval contains the experiment harness: one runner per paper
-// artefact (Figure 1 and the §II–§V quantitative claims), each producing a
-// formatted table comparing the paper's number with the measured one.
-// The cmd/attacksim binary prints them; bench_test.go regenerates them as
-// testing.B benchmarks.
+// Package eval contains the experiment harness: one entry point per paper
+// artefact (Figure 1 and the §II–§V quantitative claims, E1–E10), each
+// returning a typed *Result rather than formatted text.
+//
+// A Result is Meta (experiment ID, seed, trials, the builder's VCS
+// revision) plus a kind-discriminated Payload holding the experiment's
+// grid axes and per-cell aggregates (stats.Summary) — never formatted
+// strings. The payload's Table(Meta) renderer is the only place numbers
+// become text, so the JSON form (Result marshals under the
+// ResultSchema envelope and round-trips through the payload-kind
+// registry) always carries at least as much information as the printed
+// table. golden_test.go pins both representations: rendered tables are
+// byte-compared against testdata goldens, and every payload must survive
+// marshal → unmarshal → re-render → same bytes.
+//
+// The E10 shift study additionally exposes a checkpointed variant
+// (ShiftStudyCheckpointed) persisting each completed trial through
+// runner.Checkpoint; because trials are independently seeded and reduced
+// by trial index, a killed-and-resumed run renders bit-identically to an
+// uninterrupted one.
+//
+// Catalog() registers every experiment's claim, invocation and payload
+// schema; cmd/genexperiments generates EXPERIMENTS.md from it. The
+// cmd/attacksim binary prints the tables (or JSON with -json);
+// bench_test.go regenerates them as testing.B benchmarks.
 package eval
 
 import (

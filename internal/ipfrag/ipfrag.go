@@ -15,6 +15,20 @@
 // Overlapping fragments are resolved by a configurable policy (first-wins
 // like classic BSD, or last-wins like Linux), because the attack literature
 // distinguishes operating systems by exactly this behaviour.
+//
+// In the reproduction the attack flows through this package end to end:
+// attack.DefragPoison plants the spoofed second fragment in the victim
+// resolver's Reassembler, the authoritative nameserver's genuine response
+// is Split at the forced path MTU (the PMTU-forcing probe of the §II
+// study), and the reassembled packet — genuine first fragment, attacker
+// payload, still passing the resolver's UDP checksum because the spoofed
+// fragment compensates — is what the DNS layer parses. Fragments expire
+// from the cache after a TTL, so the attacker's plant must land inside
+// the window before the triggered query; the E5 fragmentation study
+// measures exactly the population marginals (who fragments, who accepts,
+// who is triggerable) that bound this attack's reach. The Split/
+// Reassemble pair is fuzz-tested (fuzz_test.go) for round-trip safety on
+// arbitrary payloads.
 package ipfrag
 
 import (

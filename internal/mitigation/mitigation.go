@@ -14,6 +14,18 @@
 // adversary who hijacks the victim's DNS for the whole 24-hour pool
 // generation window (e.g. via BGP) still controls the pool. The
 // experiments reproduce that residual weakness.
+//
+// Policies are pure response filters (addresses in, addresses out) so
+// the same implementation applies at three attachment points: the
+// caching resolver (dnsresolver), the Chronos client's pool generation
+// (core scenarios via the mitigation toggles), and the E10 shift grid,
+// where the client-side address cap re-derives the post-mitigation pool
+// composition before the engine runs. E7 tables each defence's
+// resulting pool; the mitigation axis of -sweep and the fleet study's
+// "§V caps" rows measure the same policies at grid and population
+// scale. The quantitative upshot the experiments pin: caps restore an
+// honest majority against cache poisoning (malicious count → 0) but
+// leave the persistent-hijack row at attacker fraction 1.0.
 package mitigation
 
 import (

@@ -3,6 +3,16 @@
 // and malicious servers applying a time-shift strategy. A pool of these —
 // honest majority or attacker-controlled supermajority — is what Chronos
 // samples from.
+//
+// Honest servers stamp receive/transmit timestamps from a clock.Clock
+// with per-server offset and drift, so even an all-honest pool shows the
+// realistic dispersion Chronos' trimmed mean is designed for. Malicious
+// servers answer with a ShiftStrategy-controlled lie; strategies range
+// from a fixed offset to RequestShiftStrategy, which adapts per request
+// and is how the shiftsim engine's adaptive attackers (greedy, stealth,
+// intermittent) drive the packet-fidelity wire mode. Farm spins up many
+// servers on one simulated network, which is how core scenarios and the
+// fleet study populate benign and attacker address space.
 package ntpserver
 
 import (

@@ -1,5 +1,14 @@
 // Package ntpwire implements the NTPv4 on-wire format (RFC 5905): the
 // 48-byte packet header and the 64-bit era-0 timestamp representation.
+//
+// It is the NTP counterpart of dnswire: a pure encode/parse layer with
+// no protocol logic, shared by ntpserver, ntpclient and chronos so that
+// every exchange in the packet-fidelity simulations crosses the wire as
+// real bytes. Timestamps convert between time.Time and the unsigned
+// 32.32 fixed-point seconds-since-1900 format; sub-nanosecond rounding
+// in that conversion is the only precision loss in the whole simulated
+// NTP path. The parser is fuzzed (FuzzParsePacket) since it consumes
+// attacker-controlled input in the interception scenarios.
 package ntpwire
 
 import (

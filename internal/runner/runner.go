@@ -7,10 +7,23 @@
 // an order-independent reduction keyed by trial index, so the aggregate of
 // a grid is bit-identical at any parallelism level — `-parallel 1` and
 // `-parallel 8` produce the same bytes.
+//
+// Long runs can persist progress through a Checkpoint (checkpoint.go): an
+// append-only JSONL file holding one fsynced line per completed trial.
+// Options.Checkpoint threads one through Run, and ForEachCheckpointed
+// wraps the plain ForEach pool for callers with their own task loop (the
+// E10 shift study). On resume the restored trials are replayed into the
+// same per-index slots a live run fills, so — by the same
+// order-independence argument — a killed-and-resumed run produces output
+// bit-identical to an uninterrupted one. A partial trailing line (the
+// artifact of a kill mid-append) is detected and truncated away; any
+// other malformed content, a fingerprint mismatch, or a task-count
+// mismatch is a hard error rather than a silent skip.
 package runner
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -79,6 +92,12 @@ type Options struct {
 	// — pair it with a stats.Aggregator (keyed by Trial.Index) for
 	// order-independent reduction.
 	OnResult func(Trial, *core.Result)
+	// Checkpoint, if non-nil, persists every completed trial's core.Result
+	// keyed by Trial.Index and skips (restoring instead) the trials the
+	// checkpoint already holds. Restored trials still flow through
+	// OnResult, so aggregates of a resumed run match an uninterrupted one
+	// bit for bit.
+	Checkpoint *Checkpoint
 }
 
 // ExecuteScenario is the default trial executor: wire the scenario and run
@@ -118,6 +137,27 @@ func Run(ctx context.Context, trials []Trial, opts Options) ([]*core.Result, err
 	defer cancel()
 
 	results := make([]*core.Result, len(trials))
+	restored := make([]bool, len(trials))
+	if opts.Checkpoint != nil {
+		if opts.Checkpoint.Total() != len(trials) {
+			return nil, fmt.Errorf("runner: checkpoint holds %d trials, run has %d", opts.Checkpoint.Total(), len(trials))
+		}
+		for pos, t := range trials {
+			raw, ok := opts.Checkpoint.Restored(t.Index)
+			if !ok {
+				continue
+			}
+			var res core.Result
+			if err := json.Unmarshal(raw, &res); err != nil {
+				return nil, fmt.Errorf("runner: restoring trial %d (%s): %w", t.Index, t.Point, err)
+			}
+			results[pos] = &res
+			restored[pos] = true
+			if opts.OnResult != nil {
+				opts.OnResult(t, &res)
+			}
+		}
+	}
 	var (
 		mu       sync.Mutex
 		firstErr error
@@ -146,6 +186,12 @@ func Run(ctx context.Context, trials []Trial, opts Options) ([]*core.Result, err
 					continue
 				}
 				results[pos] = res
+				if opts.Checkpoint != nil {
+					if err := opts.Checkpoint.Complete(t.Index, res); err != nil {
+						fail(pos, err)
+						continue
+					}
+				}
 				if opts.OnResult != nil {
 					mu.Lock()
 					opts.OnResult(t, res)
@@ -157,6 +203,9 @@ func Run(ctx context.Context, trials []Trial, opts Options) ([]*core.Result, err
 
 feed:
 	for pos := range trials {
+		if restored[pos] {
+			continue
+		}
 		select {
 		case jobs <- pos:
 		case <-ctx.Done():

@@ -30,6 +30,21 @@
 //
 // Everything is deterministic from Config.Seed at any parallelism: each
 // trial owns its own simnet.Network and consumes only that network's RNG.
+// Determinism is also what makes the E10 checkpoint/resume path sound:
+// eval.ShiftStudyCheckpointed persists each trial's Result as it
+// completes, and a resumed run replays the stored Results into the same
+// per-trial slots — since a trial's bytes depend only on its seed, the
+// resumed table is bit-identical to an uninterrupted one (pinned by the
+// cmd/attacksim golden test).
+//
+// Run returns a Result carrying the first-crossing time, round count,
+// panic count and the largest accepted update; RunLength < 0 disables
+// the round cap so the horizon alone bounds the run. The crossval suite
+// (crossval_test.go) holds the greedy strategy's empirical capture-run
+// statistics to the closed-form model within the Monte-Carlo CI, and
+// BenchmarkShiftEngine tracks the compressed path's rounds/sec — the
+// throughput bar that keeps decade-scale horizons tractable — in the
+// committed benchmark trajectory (bench/, gated by cmd/benchdiff).
 package shiftsim
 
 import (

@@ -11,12 +11,12 @@ import (
 // trials: mean, sample standard deviation, the half-width of the normal
 // 95% confidence interval of the mean, and the observed extremes.
 type Summary struct {
-	N      int
-	Mean   float64
-	StdDev float64 // sample standard deviation (n−1); 0 for a single trial
-	CI95   float64 // 1.96·σ/√n half-width; 0 for a single trial
-	Min    float64
-	Max    float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"` // sample standard deviation (n−1); 0 for a single trial
+	CI95   float64 `json:"ci95"`   // 1.96·σ/√n half-width; 0 for a single trial
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
 }
 
 // z95 is the two-sided 95% quantile of the standard normal distribution.
