@@ -3,6 +3,7 @@ package chronosntp_test
 import (
 	"context"
 	"fmt"
+	"net"
 	"runtime"
 	"testing"
 	"time"
@@ -14,9 +15,11 @@ import (
 	"chronosntp/internal/eval"
 	"chronosntp/internal/fleet"
 	"chronosntp/internal/mitigation"
+	"chronosntp/internal/ntpwire"
 	"chronosntp/internal/runner"
 	"chronosntp/internal/shiftsim"
 	"chronosntp/internal/simnet"
+	"chronosntp/internal/wirenet"
 )
 
 // The benchmarks below regenerate every table/figure of the paper (and
@@ -403,6 +406,85 @@ func BenchmarkShiftEngineWire(b *testing.B) {
 	}
 	elapsed := time.Since(start)
 	b.ReportMetric(float64(rounds)/elapsed.Seconds(), "rounds/sec")
+}
+
+// BenchmarkWireServe measures the real-socket NTP serve path end to end
+// over loopback: a zero-alloc client pipelines batches of requests
+// against a wirenet.Server with a 64-deep window, so the metric reflects
+// server throughput rather than ping-pong latency. The acceptance bar is
+// ≥ 50k requests/sec with 0 allocs/op — run with -benchmem; the
+// allocs/op figure lands in bench/BENCH_<rev>.json where cmd/benchdiff
+// hard-fails the first allocation that creeps into the steady path.
+func BenchmarkWireServe(b *testing.B) {
+	srv, err := wirenet.Serve(wirenet.ServerConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.DialUDP("udp4", nil, net.UDPAddrFromAddrPort(srv.AddrPort()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+
+	const batch = 2048 // requests per benchmark iteration
+	const window = 64  // in-flight requests
+	t1 := time.Unix(1591000000, 0)
+	t1ts := ntpwire.TimestampFromTime(t1)
+	wire := ntpwire.NewClientPacket(t1).Encode()
+	var resp ntpwire.Packet
+	var respBuf [1024]byte
+	if err := conn.SetReadDeadline(time.Now().Add(time.Minute)); err != nil {
+		b.Fatal(err)
+	}
+	readOne := func() {
+		n, err := conn.Read(respBuf[:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ntpwire.DecodeInto(&resp, respBuf[:n]); err != nil {
+			b.Fatal(err)
+		}
+		if !ntpwire.ValidServerResponse(&resp, t1ts) {
+			b.Fatalf("invalid reply: %+v", resp)
+		}
+	}
+
+	// Absorb the socket's first-use lazy allocations (deadline timer,
+	// poller state) outside the measured region, so allocs/op is an
+	// honest read on the steady path even at -benchtime 1x.
+	if _, err := conn.Write(wire); err != nil {
+		b.Fatal(err)
+	}
+	readOne()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		sent, inflight := 0, 0
+		for sent < batch {
+			for inflight < window && sent < batch {
+				if _, err := conn.Write(wire); err != nil {
+					b.Fatal(err)
+				}
+				inflight++
+				sent++
+			}
+			readOne()
+			inflight--
+		}
+		for ; inflight > 0; inflight-- {
+			readOne()
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/elapsed.Seconds(), "requests/sec")
+	b.ReportMetric(50_000, "target-requests/sec")
+	if got, want := srv.Served(), uint64(b.N*batch); got < want {
+		b.Fatalf("served %d of %d requests", got, want)
+	}
 }
 
 func evilIPs(n int) []simnet.IP {

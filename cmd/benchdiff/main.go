@@ -5,7 +5,7 @@
 //
 // Record a trajectory point:
 //
-//	go test -bench 'FleetScale|ShiftEngine' -benchtime 1x -run '^$' . > bench.txt
+//	go test -bench 'FleetScale|ShiftEngine|WireServe' -benchmem -benchtime 1x -run '^$' . > bench.txt
 //	go run ./cmd/benchdiff -parse bench.txt -rev $(git rev-parse --short=12 HEAD) -out bench/BENCH_$(git rev-parse --short=12 HEAD).json
 //
 // Gate the current tree against the committed trajectory:
@@ -13,10 +13,15 @@
 //	go run ./cmd/benchdiff -parse bench.txt -rev work -out current.json
 //	go run ./cmd/benchdiff -baseline-dir bench -current current.json -threshold 0.20
 //
-// Only higher-is-better rate metrics (units ending in "/sec", e.g. the
-// fleet engine's clients/sec and the shift engine's rounds/sec) are
-// gated; ns/op and informational metrics (subverted-fraction,
-// target-rounds/sec) are recorded but never fail the diff.
+// Two metric families are gated. Higher-is-better rates (units ending in
+// "/sec", e.g. the fleet engine's clients/sec and the wire server's
+// requests/sec) fail when they drop more than the threshold.
+// Lower-is-better allocation counts (allocs/op, from -benchmem) fail
+// when they grow more than the threshold AND by at least one whole
+// allocation — so a 0 allocs/op baseline hard-fails on the first
+// allocation that creeps into a zero-alloc path. ns/op, B/op and
+// informational metrics (subverted-fraction, target-rounds/sec) are
+// recorded but never fail the diff.
 package main
 
 import (
@@ -107,12 +112,17 @@ func parseBench(r io.Reader) ([]Point, error) {
 }
 
 // gated reports whether a metric unit participates in the regression
-// gate: only higher-is-better rates. target-rounds/sec is the documented
+// gate as a higher-is-better rate. target-rounds/sec is the documented
 // acceptance bar the shift benchmark reports as a constant, not a
 // measurement.
 func gated(unit string) bool {
 	return strings.HasSuffix(unit, "/sec") && !strings.HasPrefix(unit, "target-")
 }
+
+// gatedLower reports whether a metric unit is gated in the
+// lower-is-better direction: allocation counts from -benchmem, where
+// growth is the regression.
+func gatedLower(unit string) bool { return unit == "allocs/op" }
 
 // regression is one gated metric that fell below baseline × (1 − threshold).
 type regression struct {
@@ -138,7 +148,12 @@ func compare(w io.Writer, baseline, current *File, threshold float64) (failed bo
 		}
 		seen[cur.Name] = true
 		for unit, bv := range bp.Metrics {
-			if !gated(unit) || bv <= 0 {
+			lower := gatedLower(unit)
+			if lower {
+				if bv < 0 {
+					continue
+				}
+			} else if !gated(unit) || bv <= 0 {
 				continue
 			}
 			cv, ok := cur.Metrics[unit]
@@ -147,9 +162,19 @@ func compare(w io.Writer, baseline, current *File, threshold float64) (failed bo
 				failed = true
 				continue
 			}
-			rel := cv/bv - 1
+			var rel float64
+			if bv > 0 {
+				rel = cv/bv - 1
+			}
 			status := "ok"
-			if cv < bv*(1-threshold) {
+			regressed := cv < bv*(1-threshold)
+			if lower {
+				// Growth is the failure, and the +1 floor keeps float noise
+				// from tripping the gate while a 0-alloc baseline still
+				// hard-fails on the first allocation that creeps in.
+				regressed = cv > bv*(1+threshold) && cv >= bv+1
+			}
+			if regressed {
 				status = "REGRESSED"
 				regs = append(regs, regression{cur.Name, unit, bv, cv, rel})
 			}
@@ -167,7 +192,7 @@ func compare(w io.Writer, baseline, current *File, threshold float64) (failed bo
 	}
 	if len(regs) > 0 {
 		failed = true
-		fmt.Fprintf(w, "\n%d throughput bar(s) regressed more than %.0f%% vs %s:\n",
+		fmt.Fprintf(w, "\n%d gated bar(s) regressed more than %.0f%% vs %s:\n",
 			len(regs), 100*threshold, baseline.Rev)
 		for _, r := range regs {
 			fmt.Fprintf(w, "  %s %s: %.4g -> %.4g (%+.1f%%)\n", r.name, r.unit, r.base, r.cur, 100*r.rel)
@@ -280,8 +305,8 @@ func run(w io.Writer, args []string) error {
 		if *threshold <= 0 || *threshold >= 1 {
 			return fmt.Errorf("benchdiff: -threshold must be in (0,1), got %g", *threshold)
 		}
-		fmt.Fprintf(w, "baseline %s vs current %s (gate: -%.0f%% on */sec bars)\n",
-			base.Rev, cur.Rev, 100**threshold)
+		fmt.Fprintf(w, "baseline %s vs current %s (gate: -%.0f%% on */sec bars, +%.0f%% on allocs/op)\n",
+			base.Rev, cur.Rev, 100**threshold, 100**threshold)
 		if compare(w, base, cur, *threshold) {
 			return fmt.Errorf("benchdiff: throughput regression vs %s", base.Rev)
 		}

@@ -57,10 +57,107 @@ func TestGatedUnits(t *testing.T) {
 		"subverted-fraction": false,
 		"target-rounds/sec":  false, // documented constant, not a measurement
 		"trials/grid":        false,
+		"allocs/op":          false, // gated, but in the lower-is-better direction
 	} {
 		if gated(unit) != want {
 			t.Errorf("gated(%q) = %v, want %v", unit, !want, want)
 		}
+	}
+	for unit, want := range map[string]bool{
+		"allocs/op":   true,
+		"B/op":        false,
+		"ns/op":       false,
+		"clients/sec": false,
+	} {
+		if gatedLower(unit) != want {
+			t.Errorf("gatedLower(%q) = %v, want %v", unit, !want, want)
+		}
+	}
+}
+
+// writeAllocFile stores a File whose only interesting metric is the
+// wire server's allocation count.
+func writeAllocFile(t *testing.T, path, rev string, metrics map[string]float64) {
+	t.Helper()
+	f := File{
+		Schema: BenchSchema, Rev: rev, UnixTime: 1700000000,
+		Points: []Point{{Name: "BenchmarkWireServe", Iterations: 100000, Metrics: metrics}},
+	}
+	blob, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocGate covers the lower-is-better direction: a zero-alloc
+// baseline hard-fails on the first allocation, the +1 floor ignores
+// sub-allocation float noise, and dropping -benchmem from the run is a
+// MISSING failure rather than a silent pass.
+func TestAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	zeroBase := filepath.Join(dir, "BENCH_zero.json")
+	writeAllocFile(t, zeroBase, "zero", map[string]float64{
+		"ns/op": 20000, "allocs/op": 0, "requests/sec": 80000,
+	})
+
+	// 0 -> 1 alloc: must fail even though the relative threshold is 20%.
+	leak := filepath.Join(dir, "leak.json")
+	writeAllocFile(t, leak, "leak", map[string]float64{
+		"ns/op": 20000, "allocs/op": 1, "requests/sec": 80000,
+	})
+	var out strings.Builder
+	if err := run(&out, []string{"-baseline", zeroBase, "-current", leak}); err == nil {
+		t.Fatalf("allocation creeping into a zero-alloc path passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") || !strings.Contains(out.String(), "allocs/op") {
+		t.Errorf("alloc regression report unhelpful:\n%s", out.String())
+	}
+
+	// 0 -> 0: passes.
+	out.Reset()
+	if err := run(&out, []string{"-baseline", zeroBase, "-current", zeroBase}); err != nil {
+		t.Fatalf("zero-alloc self-comparison failed: %v\n%s", err, out.String())
+	}
+
+	// Nonzero baseline: within-threshold growth passes, beyond fails.
+	bigBase := filepath.Join(dir, "BENCH_big.json")
+	writeAllocFile(t, bigBase, "big", map[string]float64{"allocs/op": 100, "requests/sec": 80000})
+	wobble := filepath.Join(dir, "wobble.json")
+	writeAllocFile(t, wobble, "wobble", map[string]float64{"allocs/op": 115, "requests/sec": 80000})
+	out.Reset()
+	if err := run(&out, []string{"-baseline", bigBase, "-current", wobble}); err != nil {
+		t.Fatalf("15%% alloc wobble failed the 20%% gate: %v\n%s", err, out.String())
+	}
+	grown := filepath.Join(dir, "grown.json")
+	writeAllocFile(t, grown, "grown", map[string]float64{"allocs/op": 130, "requests/sec": 80000})
+	out.Reset()
+	if err := run(&out, []string{"-baseline", bigBase, "-current", grown}); err == nil {
+		t.Fatalf("30%% alloc growth passed the gate:\n%s", out.String())
+	}
+
+	// The +1 floor: a tiny baseline growing under one whole allocation
+	// stays green no matter the percentage.
+	tinyBase := filepath.Join(dir, "BENCH_tiny.json")
+	writeAllocFile(t, tinyBase, "tiny", map[string]float64{"allocs/op": 2, "requests/sec": 80000})
+	tinyCur := filepath.Join(dir, "tiny_cur.json")
+	writeAllocFile(t, tinyCur, "tinycur", map[string]float64{"allocs/op": 2.9, "requests/sec": 80000})
+	out.Reset()
+	if err := run(&out, []string{"-baseline", tinyBase, "-current", tinyCur}); err != nil {
+		t.Fatalf("sub-allocation noise tripped the gate: %v\n%s", err, out.String())
+	}
+
+	// Losing -benchmem (allocs/op vanishes from the current run) fails.
+	bare := filepath.Join(dir, "bare.json")
+	writeAllocFile(t, bare, "bare", map[string]float64{"ns/op": 20000, "requests/sec": 80000})
+	out.Reset()
+	if err := run(&out, []string{"-baseline", zeroBase, "-current", bare}); err == nil {
+		t.Fatalf("dropping allocs/op from the run passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Errorf("missing allocs/op not reported:\n%s", out.String())
 	}
 }
 

@@ -351,25 +351,17 @@ func (c *Client) startRound() {
 	c.sampleAttempt()
 }
 
-// sampleAttempt performs one sampling attempt of the current round.
+// sampleAttempt performs one sampling attempt of the current round. The
+// indices come from Rule.SampleIndices — the same draw the real-socket
+// wirenet.Syncer makes — so sampling behaviour cannot diverge between
+// the simulated and wire transports.
 func (c *Client) sampleAttempt() {
-	m := c.cfg.SampleSize
-	if m > len(c.pool) {
-		m = len(c.pool)
-	}
-	sample := c.samplePool(m)
-	c.querySample(sample, c.evaluate)
-}
-
-// samplePool draws m distinct pool members uniformly at random.
-func (c *Client) samplePool(m int) []simnet.IP {
-	rng := c.host.Net().Rand()
-	idx := rng.Perm(len(c.pool))[:m]
-	out := make([]simnet.IP, m)
+	idx := c.rule.SampleIndices(c.host.Net().Rand(), len(c.pool))
+	sample := make([]simnet.IP, len(idx))
 	for i, j := range idx {
-		out[i] = c.pool[j].IP
+		sample[i] = c.pool[j].IP
 	}
-	return out
+	c.querySample(sample, c.evaluate)
 }
 
 // querySample performs one-shot NTP exchanges with every sampled server
@@ -404,10 +396,7 @@ func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
 			return
 		}
 		resp, err := ntpwire.Decode(payload)
-		if err != nil || resp.Mode != ntpwire.ModeServer || resp.Stratum == 0 {
-			return
-		}
-		if resp.OriginTime != ntpwire.TimestampFromTime(t1) {
+		if err != nil || !ntpwire.ValidServerResponse(resp, ntpwire.TimestampFromTime(t1)) {
 			return
 		}
 		answered = true

@@ -1,6 +1,9 @@
 package chronos
 
-import "time"
+import (
+	"math/rand"
+	"time"
+)
 
 // This file isolates the Chronos clock-update *decision procedure* from the
 // packet plumbing: Rule is the pure per-attempt acceptance test (trim, C1,
@@ -62,6 +65,20 @@ func (r Rule) Config() Config { return r.cfg }
 // every trimmed-mean survivor is attacker-controlled (the hypergeometric
 // threshold the closed-form analysis uses).
 func (r Rule) CaptureNeed() int { return r.cfg.SampleSize - r.cfg.Trim }
+
+// SampleIndices draws one round's sample: min(SampleSize, poolSize)
+// distinct pool indices chosen uniformly at random. Both the simnet
+// chronos.Client and the real-socket wirenet.Syncer draw through this
+// method, so for one seed the two consume the RNG identically and sample
+// the same server sequence — the property the transport-conformance
+// tests pin.
+func (r Rule) SampleIndices(rng *rand.Rand, poolSize int) []int {
+	m := r.cfg.SampleSize
+	if m > poolSize {
+		m = poolSize
+	}
+	return rng.Perm(poolSize)[:m]
+}
 
 // Evaluate applies the Chronos update rule to one attempt's samples:
 // discard attempts with too few replies, trim d from each end, then accept

@@ -247,12 +247,7 @@ func (c *Client) responseHandler(a *association) simnet.Handler {
 			return
 		}
 		resp, err := ntpwire.Decode(payload)
-		if err != nil || resp.Mode != ntpwire.ModeServer || resp.Stratum == 0 {
-			return
-		}
-		// Origin check: the response must echo our transmit timestamp
-		// (defeats blind off-path spoofing of NTP itself).
-		if resp.OriginTime != ntpwire.TimestampFromTime(a.sentT1) {
+		if err != nil || !ntpwire.ValidServerResponse(resp, ntpwire.TimestampFromTime(a.sentT1)) {
 			return
 		}
 		a.pending = false

@@ -88,16 +88,17 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is an NTP server bound to port 123 of a simulated host.
+// Server is an NTP server bound to port 123 of a simulated host. All
+// reply construction lives in the shared Responder; the Server is only
+// the simnet binding (wirenet.Server is the real-socket one).
 type Server struct {
-	host    *simnet.Host
-	cfg     Config
-	queries uint64
+	host      *simnet.Host
+	responder *Responder
 }
 
 // New binds a server to host.
 func New(host *simnet.Host, cfg Config) (*Server, error) {
-	s := &Server{host: host, cfg: cfg.withDefaults()}
+	s := &Server{host: host, responder: NewResponder(cfg)}
 	if err := host.Listen(ntpwire.Port, s.handle); err != nil {
 		return nil, fmt.Errorf("ntpserver: %w", err)
 	}
@@ -107,46 +108,26 @@ func New(host *simnet.Host, cfg Config) (*Server, error) {
 // Addr returns the server's NTP endpoint.
 func (s *Server) Addr() simnet.Addr { return simnet.Addr{IP: s.host.IP(), Port: ntpwire.Port} }
 
+// Responder exposes the server's reply core (shared with wirenet).
+func (s *Server) Responder() *Responder { return s.responder }
+
 // Queries reports the number of requests served.
-func (s *Server) Queries() uint64 { return s.queries }
+func (s *Server) Queries() uint64 { return s.responder.Queries() }
 
 // Malicious reports whether the server applies a shift strategy.
-func (s *Server) Malicious() bool { return s.cfg.Strategy != nil }
+func (s *Server) Malicious() bool { return s.responder.Malicious() }
 
 // SetStrategy swaps the shift strategy at runtime (attack orchestration).
-func (s *Server) SetStrategy(st ShiftStrategy) { s.cfg.Strategy = st }
+func (s *Server) SetStrategy(st ShiftStrategy) { s.responder.SetStrategy(st) }
 
 // handle answers mode-3 client requests.
 func (s *Server) handle(now time.Time, meta simnet.Meta, payload []byte) {
-	req, err := ntpwire.Decode(payload)
-	if err != nil || req.Mode != ntpwire.ModeClient {
+	var req, resp ntpwire.Packet
+	if err := ntpwire.DecodeInto(&req, payload); err != nil {
 		return
 	}
-	s.queries++
-
-	shift := time.Duration(0)
-	if rs, ok := s.cfg.Strategy.(RequestShiftStrategy); ok {
-		shift = rs.ShiftForRequest(now, req, meta.From)
-	} else if s.cfg.Strategy != nil {
-		shift = s.cfg.Strategy.Shift(now)
-	}
-	recv := s.cfg.Clock.Now(now).Add(shift)
-	xmit := s.cfg.Clock.Now(now.Add(s.cfg.Processing)).Add(shift)
-
-	resp := &ntpwire.Packet{
-		Leap:           ntpwire.LeapNone,
-		Version:        ntpwire.Version,
-		Mode:           ntpwire.ModeServer,
-		Stratum:        s.cfg.Stratum,
-		Poll:           req.Poll,
-		Precision:      -23,
-		RootDelay:      ntpwire.ShortFromDuration(5 * time.Millisecond),
-		RootDispersion: ntpwire.ShortFromDuration(time.Millisecond),
-		ReferenceID:    s.cfg.ReferenceID,
-		ReferenceTime:  ntpwire.TimestampFromTime(recv.Add(-30 * time.Second)),
-		OriginTime:     req.TransmitTime,
-		ReceiveTime:    ntpwire.TimestampFromTime(recv),
-		TransmitTime:   ntpwire.TimestampFromTime(xmit),
+	if !s.responder.Respond(&resp, now, &req, meta.From) {
+		return
 	}
 	_ = s.host.SendUDP(ntpwire.Port, meta.From, resp.Encode())
 }

@@ -1,0 +1,92 @@
+package ntpserver
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chronosntp/internal/ntpwire"
+	"chronosntp/internal/simnet"
+)
+
+// Responder is the transport-independent core of an NTP server: given a
+// decoded client request and a receive timestamp, it fills in the mode-4
+// reply. The simnet Server and the real-socket wirenet.Server both
+// delegate here, so the two serving paths cannot drift — a reply is a
+// pure function of (config, strategy, now, request), whichever wire
+// carried the request.
+//
+// Respond is safe for concurrent use: the query counter is atomic and
+// strategy invocations are serialised under a mutex (shift strategies may
+// be stateful). The clock must not be stepped while the responder is
+// serving.
+type Responder struct {
+	cfg     Config
+	mu      sync.Mutex // serialises strategy access on the concurrent wire path
+	queries atomic.Uint64
+}
+
+// NewResponder builds a Responder with cfg's defaults resolved.
+func NewResponder(cfg Config) *Responder {
+	return &Responder{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective configuration (defaults applied).
+func (r *Responder) Config() Config { return r.cfg }
+
+// Queries reports the number of requests answered.
+func (r *Responder) Queries() uint64 { return r.queries.Load() }
+
+// Malicious reports whether the responder applies a shift strategy.
+func (r *Responder) Malicious() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.Strategy != nil
+}
+
+// SetStrategy swaps the shift strategy at runtime (attack orchestration).
+func (r *Responder) SetStrategy(st ShiftStrategy) {
+	r.mu.Lock()
+	r.cfg.Strategy = st
+	r.mu.Unlock()
+}
+
+// Respond answers one mode-3 client request received at (true) time now
+// from the given address, overwriting resp with the reply. It returns
+// false — leaving resp untouched — when the request is not a client-mode
+// packet. No allocation occurs: this is the steady serve path of the
+// real-socket server.
+func (r *Responder) Respond(resp *ntpwire.Packet, now time.Time, req *ntpwire.Packet, from simnet.Addr) bool {
+	if req.Mode != ntpwire.ModeClient {
+		return false
+	}
+	r.queries.Add(1)
+
+	shift := time.Duration(0)
+	r.mu.Lock()
+	if rs, ok := r.cfg.Strategy.(RequestShiftStrategy); ok {
+		shift = rs.ShiftForRequest(now, req, from)
+	} else if r.cfg.Strategy != nil {
+		shift = r.cfg.Strategy.Shift(now)
+	}
+	r.mu.Unlock()
+	recv := r.cfg.Clock.Now(now).Add(shift)
+	xmit := r.cfg.Clock.Now(now.Add(r.cfg.Processing)).Add(shift)
+
+	*resp = ntpwire.Packet{
+		Leap:           ntpwire.LeapNone,
+		Version:        ntpwire.Version,
+		Mode:           ntpwire.ModeServer,
+		Stratum:        r.cfg.Stratum,
+		Poll:           req.Poll,
+		Precision:      -23,
+		RootDelay:      ntpwire.ShortFromDuration(5 * time.Millisecond),
+		RootDispersion: ntpwire.ShortFromDuration(time.Millisecond),
+		ReferenceID:    r.cfg.ReferenceID,
+		ReferenceTime:  ntpwire.TimestampFromTime(recv.Add(-30 * time.Second)),
+		OriginTime:     req.TransmitTime,
+		ReceiveTime:    ntpwire.TimestampFromTime(recv),
+		TransmitTime:   ntpwire.TimestampFromTime(xmit),
+	}
+	return true
+}

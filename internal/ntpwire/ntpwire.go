@@ -130,9 +130,19 @@ type Packet struct {
 	TransmitTime  Timestamp // T3
 }
 
-// Encode serialises the packet into 48 bytes.
+// Encode serialises the packet into a fresh 48-byte slice.
 func (p *Packet) Encode() []byte {
-	b := make([]byte, PacketSize)
+	return p.AppendEncode(make([]byte, 0, PacketSize))
+}
+
+// AppendEncode serialises the packet onto dst and returns the extended
+// slice. When dst has 48 bytes of spare capacity no allocation occurs —
+// this is the hot path of the real-socket server, which reuses one
+// response buffer per read loop.
+func (p *Packet) AppendEncode(dst []byte) []byte {
+	n := len(dst)
+	dst = append(dst, make([]byte, PacketSize)...)
+	b := dst[n : n+PacketSize]
 	b[0] = byte(p.Leap)<<6 | (p.Version&0x7)<<3 | byte(p.Mode)&0x7
 	b[1] = p.Stratum
 	b[2] = byte(p.Poll)
@@ -144,16 +154,27 @@ func (p *Packet) Encode() []byte {
 	binary.BigEndian.PutUint64(b[24:32], uint64(p.OriginTime))
 	binary.BigEndian.PutUint64(b[32:40], uint64(p.ReceiveTime))
 	binary.BigEndian.PutUint64(b[40:48], uint64(p.TransmitTime))
-	return b
+	return dst
 }
 
 // Decode parses a 48-byte NTPv4 header. Extra bytes (extensions, MACs)
 // are ignored.
 func Decode(b []byte) (*Packet, error) {
-	if len(b) < PacketSize {
-		return nil, ErrShortPacket
+	p := new(Packet)
+	if err := DecodeInto(p, b); err != nil {
+		return nil, err
 	}
-	return &Packet{
+	return p, nil
+}
+
+// DecodeInto parses a 48-byte NTPv4 header into p, which is overwritten
+// entirely. It is the allocation-free counterpart of Decode for callers
+// that reuse one Packet per read loop.
+func DecodeInto(p *Packet, b []byte) error {
+	if len(b) < PacketSize {
+		return ErrShortPacket
+	}
+	*p = Packet{
 		Leap:           LeapIndicator(b[0] >> 6),
 		Version:        b[0] >> 3 & 0x7,
 		Mode:           Mode(b[0] & 0x7),
@@ -167,7 +188,18 @@ func Decode(b []byte) (*Packet, error) {
 		OriginTime:     Timestamp(binary.BigEndian.Uint64(b[24:32])),
 		ReceiveTime:    Timestamp(binary.BigEndian.Uint64(b[32:40])),
 		TransmitTime:   Timestamp(binary.BigEndian.Uint64(b[40:48])),
-	}, nil
+	}
+	return nil
+}
+
+// ValidServerResponse reports whether p is an acceptable reply to a
+// client request transmitted at t1: a mode-4 packet from a synchronised
+// server (stratum 0 is the Kiss-o'-Death range) that echoes the client's
+// transmit timestamp in its origin field. The origin check is what
+// defeats blind off-path spoofing of NTP itself; ntpclient, chronos and
+// the wirenet transports all apply the same predicate.
+func ValidServerResponse(p *Packet, t1 Timestamp) bool {
+	return p.Mode == ModeServer && p.Stratum != 0 && p.OriginTime == t1
 }
 
 // NewClientPacket builds a mode-3 request with TransmitTime = t1 (the

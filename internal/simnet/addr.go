@@ -2,6 +2,7 @@ package simnet
 
 import (
 	"fmt"
+	"net/netip"
 	"strconv"
 )
 
@@ -44,3 +45,23 @@ type Addr struct {
 
 // String renders the endpoint as ip:port.
 func (a Addr) String() string { return fmt.Sprintf("%s:%d", a.IP, a.Port) }
+
+// AddrPort converts the simulated endpoint into a net/netip endpoint.
+// This is the bridge the real-socket layer (internal/wirenet) uses: the
+// same four address octets name a host on the simulated internet and a
+// loopback/interface address on the real one, so topology descriptions
+// are transport-independent.
+func (a Addr) AddrPort() netip.AddrPort {
+	return netip.AddrPortFrom(netip.AddrFrom4(a.IP), a.Port)
+}
+
+// AddrFromAddrPort maps a real IPv4 (or IPv4-mapped IPv6) endpoint into
+// simnet address space — the inverse of Addr.AddrPort, allocation-free.
+// Non-IPv4 addresses map to the zero IP with the port preserved.
+func AddrFromAddrPort(ap netip.AddrPort) Addr {
+	ip := ap.Addr().Unmap()
+	if !ip.Is4() {
+		return Addr{Port: ap.Port()}
+	}
+	return Addr{IP: IP(ip.As4()), Port: ap.Port()}
+}

@@ -1,0 +1,87 @@
+package wirenet
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"chronosntp/internal/ntpwire"
+)
+
+// fuzzEnv lazily boots one shared server plus a sink socket that plays
+// the "client" (it is never read; replies just land in its kernel
+// buffer). f.Fuzz callbacks within one worker process run sequentially,
+// so sharing the server's per-call packet state below is safe.
+var fuzzEnv struct {
+	once sync.Once
+	srv  *Server
+	sink netip.AddrPort
+	err  error
+}
+
+func fuzzServer(t testing.TB) (*Server, netip.AddrPort) {
+	fuzzEnv.once.Do(func() {
+		fuzzEnv.srv, fuzzEnv.err = Serve(ServerConfig{Listeners: 1})
+		if fuzzEnv.err != nil {
+			return
+		}
+		sink, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			fuzzEnv.err = err
+			return
+		}
+		fuzzEnv.sink = sink.LocalAddr().(*net.UDPAddr).AddrPort()
+	})
+	if fuzzEnv.err != nil {
+		t.Fatal(fuzzEnv.err)
+	}
+	return fuzzEnv.srv, fuzzEnv.sink
+}
+
+// FuzzServeRequest drives the server's per-datagram path with arbitrary
+// payloads, asserting the parse/validate/respond pipeline never panics
+// and replies exactly to well-formed mode-3 requests.
+func FuzzServeRequest(f *testing.F) {
+	f.Add(ntpwire.NewClientPacket(time.Unix(1591000000, 0)).Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x23})
+	f.Add(make([]byte, ntpwire.PacketSize-1))
+	f.Add(make([]byte, ntpwire.PacketSize+16))
+	f.Add((&ntpwire.Packet{Version: 4, Mode: ntpwire.ModeServer}).Encode())
+	f.Add((&ntpwire.Packet{Version: 7, Mode: ntpwire.ModeClient}).Encode())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv, sink := fuzzServer(t)
+		var req, resp ntpwire.Packet
+		out := make([]byte, 0, ntpwire.PacketSize)
+
+		servedBefore := srv.Served()
+		answered := srv.serveOne(&req, &resp, out, data, sink)
+
+		var want ntpwire.Packet
+		wantAnswer := ntpwire.DecodeInto(&want, data) == nil && want.Mode == ntpwire.ModeClient
+		if answered != wantAnswer {
+			t.Fatalf("answered=%v, want %v for payload %x", answered, wantAnswer, data)
+		}
+		if !answered {
+			return
+		}
+		if srv.Served() != servedBefore+1 {
+			t.Fatalf("served counter did not advance")
+		}
+		if resp.Mode != ntpwire.ModeServer {
+			t.Fatalf("reply mode = %d, want server", resp.Mode)
+		}
+		if resp.Stratum == 0 {
+			t.Fatalf("reply stratum 0 (kiss-o'-death) from an honest responder")
+		}
+		if resp.OriginTime != want.TransmitTime {
+			t.Fatalf("origin echo broken: got %v, want %v", resp.OriginTime, want.TransmitTime)
+		}
+		if resp.TransmitTime.Time().Before(resp.ReceiveTime.Time()) {
+			t.Fatalf("transmit %v before receive %v", resp.TransmitTime.Time(), resp.ReceiveTime.Time())
+		}
+	})
+}

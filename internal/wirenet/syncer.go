@@ -1,0 +1,155 @@
+package wirenet
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"chronosntp/internal/chronos"
+)
+
+// Syncer drives the Chronos decision core — chronos.Rule sampling and
+// evaluation plus the chronos.Round re-sample/panic escalation — over
+// any Transport. It is the real-wire counterpart of chronos.Client: the
+// same SampleIndices draw, the same C1/C2 acceptance, the same
+// escalation ladder, only the packet plumbing swapped out underneath.
+// One Syncer with one seed makes the identical sampling decisions
+// whether it holds a SimTransport or a UDPTransport, which is what the
+// transport-conformance tests assert.
+type Syncer struct {
+	tr   Transport
+	pool []netip.AddrPort
+	rng  *rand.Rand
+	rule chronos.Rule
+	cfg  chronos.Config
+
+	correction time.Duration
+	stats      chronos.Stats
+}
+
+// SyncerConfig parameterises a Syncer.
+type SyncerConfig struct {
+	// Pool is the generated server pool (what chronos.Client accumulates
+	// over 24 hours of DNS; here it is handed in directly).
+	Pool []netip.AddrPort
+	// Seed feeds the sampling RNG; 0 means 1.
+	Seed int64
+	// Chronos carries the NDSS'18 parameters (m, d, ω, ErrBound, K,
+	// QueryTimeout); zero fields take the package defaults.
+	Chronos chronos.Config
+}
+
+// NewSyncer builds a Syncer over tr.
+func NewSyncer(tr Transport, cfg SyncerConfig) (*Syncer, error) {
+	if len(cfg.Pool) == 0 {
+		return nil, errors.New("wirenet: syncer needs a non-empty pool")
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rule := chronos.NewRule(cfg.Chronos)
+	pool := make([]netip.AddrPort, len(cfg.Pool))
+	copy(pool, cfg.Pool)
+	return &Syncer{
+		tr:   tr,
+		pool: pool,
+		rng:  rand.New(rand.NewSource(seed)),
+		rule: rule,
+		cfg:  rule.Config(),
+	}, nil
+}
+
+// Config returns the effective Chronos configuration.
+func (s *Syncer) Config() chronos.Config { return s.cfg }
+
+// Stats returns an activity snapshot (the same counters chronos.Client
+// keeps, minus the DNS pool-generation ones).
+func (s *Syncer) Stats() chronos.Stats { return s.stats }
+
+// Correction reports the total discipline applied to the transport's
+// client clock across all rounds.
+func (s *Syncer) Correction() time.Duration { return s.correction }
+
+// RoundTrace records every decision one SyncRound made, in order — the
+// evidence the conformance tests compare across transports.
+type RoundTrace struct {
+	Attempts []chronos.Verdict // per-attempt rule verdicts
+	Actions  []chronos.Action  // per-attempt escalation decisions
+	Replies  []int             // per-attempt reply counts
+	Panicked bool              // the round fell through to panic mode
+	Applied  bool              // a clock correction was applied
+	Update   time.Duration     // the applied correction (normal or panic path)
+}
+
+// SyncRound runs one full Chronos synchronisation round: sample m
+// servers, evaluate C1/C2, re-sample up to K times on failure, then fall
+// through to panic mode (query the whole pool, trust the middle third).
+// Accepted updates are applied to the transport's clock via Step.
+func (s *Syncer) SyncRound() RoundTrace {
+	s.stats.Rounds++
+	round := chronos.NewRound(s.cfg.Retries)
+	var tr RoundTrace
+	for {
+		idx := s.rule.SampleIndices(s.rng, len(s.pool))
+		offsets := s.collect(idx)
+		v := s.rule.Evaluate(offsets)
+		if v.Reason == chronos.FailInsufficient {
+			s.stats.IncompleteRound++
+		}
+		act := round.Submit(v)
+		tr.Attempts = append(tr.Attempts, v)
+		tr.Actions = append(tr.Actions, act)
+		tr.Replies = append(tr.Replies, len(offsets))
+
+		switch act {
+		case chronos.Apply:
+			s.apply(v.Update)
+			s.stats.Updates++
+			tr.Applied, tr.Update = true, v.Update
+			return tr
+		case chronos.Resample:
+			s.stats.Resamples++
+		case chronos.Panic:
+			s.stats.Panics++
+			tr.Panicked = true
+			all := make([]int, len(s.pool))
+			for i := range all {
+				all[i] = i
+			}
+			offsets := s.collect(all)
+			tr.Replies = append(tr.Replies, len(offsets))
+			if up, ok := s.rule.PanicUpdate(offsets); ok {
+				s.apply(up)
+				s.stats.PanicUpdates++
+				tr.Applied, tr.Update = true, up
+			} else {
+				s.stats.IncompleteRound++
+			}
+			return tr
+		}
+	}
+}
+
+// collect queries the pool members at the given indices sequentially and
+// returns the offsets of the servers that answered in time. Timeouts and
+// invalid replies contribute nothing, exactly as dropped responses do in
+// the simulated client.
+func (s *Syncer) collect(idx []int) []time.Duration {
+	offsets := make([]time.Duration, 0, len(idx))
+	for _, i := range idx {
+		sample, err := s.tr.Exchange(s.pool[i], s.cfg.QueryTimeout)
+		if err != nil {
+			continue
+		}
+		offsets = append(offsets, sample.Offset)
+	}
+	return offsets
+}
+
+// apply disciplines the transport clock and the bookkeeping.
+func (s *Syncer) apply(update time.Duration) {
+	s.tr.Step(update)
+	s.correction += update
+}
