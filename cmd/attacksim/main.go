@@ -39,6 +39,11 @@
 //
 // -json prints the experiment's typed eval.Result as JSON instead of the
 // rendered table (the table is derived from the same struct).
+//
+// -cpuprofile and -memprofile write pprof profiles of the run (any mode).
+// Work is annotated with pprof labels — experiment=E5, mode=fleet, … — so
+// `go tool pprof -tagfocus` can attribute samples when one invocation runs
+// several experiments.
 package main
 
 import (
@@ -49,6 +54,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -88,6 +95,9 @@ type options struct {
 
 	checkpoint string
 	resume     string
+
+	cpuprofile string
+	memprofile string
 }
 
 // modeSynopses are the command forms usage prints above the flag list.
@@ -121,6 +131,8 @@ func newFlagSet(o *options) *flag.FlagSet {
 	fs.StringVar(&o.strategy, "strategy", "all", "E10 attacker strategy: "+strings.Join(shiftsim.Names(), ", ")+", or all")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "start a fresh checkpoint file; persists completed trials (E10 and -sweep)")
 	fs.StringVar(&o.resume, "resume", "", "resume from an existing checkpoint file (E10 and -sweep)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write an end-of-run heap profile to this file")
 	fs.Usage = func() {
 		w := fs.Output()
 		fmt.Fprintln(w, "attacksim — chronosntp reproduction experiments (catalog: EXPERIMENTS.md)")
@@ -206,6 +218,57 @@ func openCheckpoint(o options, fingerprint, description string, total int) (*run
 	return runner.ResumeCheckpoint(o.resume, fingerprint, total)
 }
 
+// startProfiles begins CPU profiling and arms the heap-profile write as
+// requested; the returned stop must run after the measured work (and
+// before process exit).
+func startProfiles(o options) (stop func() error, err error) {
+	var cpuFile *os.File
+	if o.cpuprofile != "" {
+		cpuFile, err = os.Create(o.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if o.memprofile != "" {
+			f, err := os.Create(o.memprofile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // report live steady-state heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+// labeled runs f with a pprof goroutine label so profile samples can be
+// attributed per experiment (-tagfocus experiment=E5 etc.). Work fanned
+// across internal/runner inherits the label through the spawning
+// goroutine's context only when the runner propagates it; the top-level
+// label still marks every sample of single-threaded runs and the reduce
+// paths.
+func labeled(key, value string, f func() error) error {
+	var err error
+	pprof.Do(context.Background(), pprof.Labels(key, value), func(context.Context) {
+		err = f()
+	})
+	return err
+}
+
 func run(w io.Writer, args []string) error {
 	o, err := parseFlags(args)
 	if err != nil {
@@ -214,11 +277,24 @@ func run(w io.Writer, args []string) error {
 		}
 		return err
 	}
+	stopProfiles, err := startProfiles(o)
+	if err != nil {
+		return err
+	}
+	if err := runMode(w, o); err != nil {
+		stopProfiles()
+		return err
+	}
+	return stopProfiles()
+}
+
+// runMode dispatches to the selected mode with the profiling label set.
+func runMode(w io.Writer, o options) error {
 	if o.fleet {
-		return runFleet(w, o)
+		return labeled("mode", "fleet", func() error { return runFleet(w, o) })
 	}
 	if o.sweep != "" {
-		return runSweep(w, o)
+		return labeled("mode", "sweep", func() error { return runSweep(w, o) })
 	}
 
 	runners := map[string]func() (*eval.Result, error){
@@ -248,7 +324,12 @@ func run(w io.Writer, args []string) error {
 		return nil
 	}
 	if o.experiment == "all" {
-		results, err := eval.All(o.seed, o.trials, o.parallel, o.clients, o.resolvers)
+		var results []*eval.Result
+		err := labeled("experiment", "all", func() error {
+			var err error
+			results, err = eval.All(o.seed, o.trials, o.parallel, o.clients, o.resolvers)
+			return err
+		})
 		if err != nil {
 			return err
 		}
@@ -263,8 +344,12 @@ func run(w io.Writer, args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (want E1..E10 or all)", o.experiment)
 	}
-	res, err := r()
-	if err != nil {
+	var res *eval.Result
+	if err := labeled("experiment", o.experiment, func() error {
+		var err error
+		res, err = r()
+		return err
+	}); err != nil {
 		return err
 	}
 	return emit(res)

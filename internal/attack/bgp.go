@@ -77,7 +77,7 @@ func (h *BGPHijacker) inspect(pkt simnet.Packet) (simnet.Verdict, []simnet.Packe
 		h.Dropped++
 		return simnet.Drop, nil
 	}
-	query, err := dnswire.Decode(payload)
+	query, err := dnswire.DecodeBorrow(payload)
 	if err != nil || query.Response || len(query.Questions) != 1 {
 		h.Dropped++
 		return simnet.Drop, nil

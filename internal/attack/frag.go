@@ -311,7 +311,7 @@ func (p *FragPoisoner) Probe(qname string, qtype dnswire.Type, cb func(resp []by
 		if meta.From != p.cfg.TargetServer {
 			return
 		}
-		msg, err := dnswire.Decode(payload)
+		msg, err := dnswire.DecodeBorrow(payload)
 		if err != nil || msg.ID != txid {
 			return
 		}

@@ -26,7 +26,7 @@ package chronos
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"chronosntp/internal/clock"
@@ -152,30 +152,45 @@ type Client struct {
 	rule Rule
 
 	pool      []PoolEntry
-	poolSet   map[simnet.IP]bool
+	poolIPs   []uint32 // sorted membership index over pool (see poolAdd)
 	poolBuilt bool
 	building  bool
 	queryIdx  int
 	buildDone func(error)
 
 	stopped bool
-	timer   *simnet.Timer
+	timer   simnet.Timer
 	round   *Round
 	stats   Stats
+
+	// Method values handed to the event queue, bound once at construction
+	// so the per-client scheduling steady state allocates no closures.
+	poolQueryFn   func()
+	finishBuildFn func()
+	startRoundFn  func()
+
+	// absorbFn is the pool-query response callback, bound once; the query
+	// index it applies rides in pendingIdx (see poolQuery).
+	absorbFn   func(dnsresolver.Result)
+	pendingIdx int
 }
 
 // New builds a Chronos client. stub may be nil when the pool is seeded
 // directly via SeedPool.
 func New(host *simnet.Host, clk *clock.Clock, stub Lookuper, cfg Config) *Client {
 	rule := NewRule(cfg)
-	return &Client{
-		host:    host,
-		clk:     clk,
-		stub:    stub,
-		cfg:     rule.Config(),
-		rule:    rule,
-		poolSet: make(map[simnet.IP]bool),
+	c := &Client{
+		host: host,
+		clk:  clk,
+		stub: stub,
+		cfg:  rule.Config(),
+		rule: rule,
 	}
+	c.poolQueryFn = c.poolQuery
+	c.finishBuildFn = c.finishBuild
+	c.startRoundFn = c.startRound
+	c.absorbFn = func(res dnsresolver.Result) { c.absorbPoolResponse(c.pendingIdx, res) }
+	return c
 }
 
 // Clock returns the disciplined clock.
@@ -192,6 +207,60 @@ func (c *Client) Pool() []PoolEntry {
 	out := make([]PoolEntry, len(c.pool))
 	copy(out, c.pool)
 	return out
+}
+
+// PoolView returns the live pool slice without copying. Callers must not
+// mutate it or hold it across further client activity; fleet measurement
+// loops read it in place to avoid one copy per client.
+func (c *Client) PoolView() []PoolEntry { return c.pool }
+
+// ipKey packs an IP into a comparable integer for the membership index.
+func ipKey(ip simnet.IP) uint32 {
+	return uint32(ip[0])<<24 | uint32(ip[1])<<16 | uint32(ip[2])<<8 | uint32(ip[3])
+}
+
+// poolHas reports whether ip is already in the pool, via binary search
+// over the sorted membership index. Merging an 89-record poisoned
+// response into a ~130-entry pool happens for every query of every
+// client at fleet scale, so membership is O(log n) on a flat []uint32
+// instead of a linear struct scan or a side map (two allocations per
+// client).
+func (c *Client) poolHas(ip simnet.IP) bool {
+	_, found := slices.BinarySearch(c.poolIPs, ipKey(ip))
+	return found
+}
+
+// poolReserve grows the pool and its index to hold at least n entries in
+// one step. Absorbing a response knows exactly how many records it may
+// add, so sizing once up front avoids the doubling-growth reallocations
+// that otherwise dominate fleet-scale allocation (an 89-record poisoned
+// response would grow a 24-entry pool three times).
+func (c *Client) poolReserve(n int) {
+	if n <= cap(c.pool) {
+		return
+	}
+	if min := c.cfg.PoolQueries * dnswire.BenignPoolResponseRecords; n < min {
+		// First reservation: size for the expected benign harvest
+		// (PoolQueries rotations of a standard 4-record response).
+		n = min
+	}
+	pool := make([]PoolEntry, len(c.pool), n)
+	copy(pool, c.pool)
+	c.pool = pool
+	ips := make([]uint32, len(c.poolIPs), n)
+	copy(ips, c.poolIPs)
+	c.poolIPs = ips
+}
+
+// poolAdd appends a pool entry (callers check membership first and
+// reserve capacity) and keeps the sorted IP index in step.
+func (c *Client) poolAdd(e PoolEntry) {
+	c.pool = append(c.pool, e)
+	k := ipKey(e.IP)
+	i, _ := slices.BinarySearch(c.poolIPs, k)
+	c.poolIPs = append(c.poolIPs, 0)
+	copy(c.poolIPs[i+1:], c.poolIPs[i:])
+	c.poolIPs[i] = k
 }
 
 // PoolSize returns the number of distinct servers gathered.
@@ -230,17 +299,20 @@ func (c *Client) poolQuery() {
 		return
 	}
 	c.queryIdx++
-	idx := c.queryIdx
+	// Pool queries are spaced PoolQueryInterval (hours) apart while
+	// responses resolve in at most seconds, so at most one is ever
+	// outstanding: the pending query index can live on the client and the
+	// absorb callback is the same bound value every time, instead of a
+	// fresh closure per query.
+	c.pendingIdx = c.queryIdx
 	c.stats.PoolQueries++
-	c.stub.Lookup(c.cfg.PoolName, dnswire.TypeA, func(res dnsresolver.Result) {
-		c.absorbPoolResponse(idx, res)
-	})
+	c.stub.Lookup(c.cfg.PoolName, dnswire.TypeA, c.absorbFn)
 	if c.queryIdx >= c.cfg.PoolQueries {
 		// Allow the last response to arrive, then finish.
-		c.host.Net().After(c.cfg.QueryTimeout+5*time.Second, c.finishBuild)
+		c.host.Net().After(c.cfg.QueryTimeout+5*time.Second, c.finishBuildFn)
 		return
 	}
-	c.timer = c.host.Net().After(c.cfg.PoolQueryInterval, c.poolQuery)
+	c.timer = c.host.Net().After(c.cfg.PoolQueryInterval, c.poolQueryFn)
 }
 
 // absorbPoolResponse applies the §V policy and merges a pool response.
@@ -249,7 +321,6 @@ func (c *Client) absorbPoolResponse(idx int, res dnsresolver.Result) {
 		return
 	}
 	now := c.host.Net().Now()
-	var addrs []simnet.IP
 	count := 0
 	for _, rr := range res.RRs {
 		if rr.Type != dnswire.TypeA {
@@ -260,7 +331,6 @@ func (c *Client) absorbPoolResponse(idx int, res dnsresolver.Result) {
 			c.stats.PolicyDiscards++
 			return // discard the whole response: it is suspicious
 		}
-		addrs = append(addrs, simnet.IP(rr.A))
 	}
 	if c.cfg.Policy.MaxAddrsPerResponse > 0 && count > c.cfg.Policy.MaxAddrsPerResponse {
 		c.stats.PolicyDiscards++
@@ -268,15 +338,32 @@ func (c *Client) absorbPoolResponse(idx int, res dnsresolver.Result) {
 	}
 	c.stats.PoolResponses++
 	target := c.cfg.PoolTarget
-	for _, ip := range addrs {
-		if c.poolSet[ip] {
+	seen := 0
+	for _, rr := range res.RRs {
+		if rr.Type != dnswire.TypeA {
+			continue
+		}
+		seen++
+		ip := simnet.IP(rr.A)
+		if c.poolHas(ip) {
 			continue
 		}
 		if target > 0 && len(c.pool) >= target {
 			break
 		}
-		c.poolSet[ip] = true
-		c.pool = append(c.pool, PoolEntry{IP: ip, AddedAt: now, QueryIdx: idx})
+		if len(c.pool) == cap(c.pool) {
+			// Grow to an upper bound of what this response can still
+			// add (the unprocessed A records), not a blind doubling. A
+			// saturated pool re-absorbing an already-held record set —
+			// the steady state once poisoning lands — never gets here,
+			// so it costs no reservation at all.
+			need := len(c.pool) + 1 + (count - seen)
+			if target > 0 && need > target {
+				need = target
+			}
+			c.poolReserve(need)
+		}
+		c.poolAdd(PoolEntry{IP: ip, AddedAt: now, QueryIdx: idx})
 	}
 }
 
@@ -314,12 +401,12 @@ func (c *Client) SeedPool(ips []simnet.IP) error {
 		return ErrPoolEmpty
 	}
 	now := c.host.Net().Now()
+	c.poolReserve(len(ips))
 	for _, ip := range ips {
-		if c.poolSet[ip] {
+		if c.poolHas(ip) {
 			continue
 		}
-		c.poolSet[ip] = true
-		c.pool = append(c.pool, PoolEntry{IP: ip, AddedAt: now})
+		c.poolAdd(PoolEntry{IP: ip, AddedAt: now})
 	}
 	c.poolBuilt = true
 	c.scheduleRound(c.cfg.SyncInterval)
@@ -329,16 +416,14 @@ func (c *Client) SeedPool(ips []simnet.IP) error {
 // Stop halts all activity.
 func (c *Client) Stop() {
 	c.stopped = true
-	if c.timer != nil {
-		c.timer.Cancel()
-	}
+	c.timer.Cancel()
 }
 
 func (c *Client) scheduleRound(d time.Duration) {
 	if c.stopped {
 		return
 	}
-	c.timer = c.host.Net().After(d, c.startRound)
+	c.timer = c.host.Net().After(d, c.startRoundFn)
 }
 
 // startRound begins one Chronos sync round with a fresh escalation state.
@@ -390,7 +475,7 @@ func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
 	trueT1 := net.Now()
 	t1 := c.clk.Now(trueT1)
 	answered := false
-	var timeout *simnet.Timer
+	var timeout simnet.Timer
 	err := c.host.Listen(port, func(now time.Time, meta simnet.Meta, payload []byte) {
 		if answered || meta.From != addr {
 			return
@@ -475,14 +560,16 @@ func (c *Client) panic() {
 	})
 }
 
-// trimmed sorts a copy of xs and removes trim elements from each end.
+// trimmed sorts xs in place and returns the subslice with trim elements
+// removed from each end. Sorting the caller's slice (rather than a copy)
+// keeps the per-attempt rule evaluation allocation-free; every caller
+// hands in a scratch buffer it refills before the next attempt.
 func trimmed(xs []time.Duration, trim int) []time.Duration {
-	s := append([]time.Duration(nil), xs...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	if trim < 0 || len(s) <= 2*trim {
-		return s
+	slices.Sort(xs)
+	if trim < 0 || len(xs) <= 2*trim {
+		return xs
 	}
-	return s[trim : len(s)-trim]
+	return xs[trim : len(xs)-trim]
 }
 
 func mean(xs []time.Duration) time.Duration {

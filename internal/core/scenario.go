@@ -386,11 +386,17 @@ func (s *Scenario) Run() (*Result, error) {
 		if s.plainC != nil {
 			s.plainC.Start(nil)
 		}
-		// Track the peak Chronos error.
+		// Track the peak Chronos error. Scenario clients are zero-drift,
+		// so the offset only changes when an event runs: steps that
+		// FastForward across idle air (between NTP polls, most of them)
+		// skip the resample, compressing the sync loop to O(events)
+		// instead of O(steps).
 		step := cfg.SyncInterval
 		var maxOff time.Duration
 		for elapsed := time.Duration(0); elapsed < cfg.SyncDuration; elapsed += step {
-			s.net.RunFor(step)
+			if s.net.FastForward(step) == 0 {
+				continue
+			}
 			if off := absDur(s.chronosC.Offset()); off > maxOff {
 				maxOff = off
 			}

@@ -15,6 +15,7 @@ type cacheKey struct {
 
 type cacheEntry struct {
 	rrs      []dnswire.RR // TTLs as received
+	aged     []dnswire.RR // per-entry scratch for the TTL-decremented view
 	storedAt time.Time
 	expiry   time.Time
 }
@@ -66,6 +67,14 @@ func (c *Cache) PutNegative(now time.Time, name string, qtype dnswire.Type, ttl 
 
 // Get returns the unexpired RRset for (name, qtype) with TTLs decremented
 // by the time spent in cache.
+//
+// The returned slice is borrowed from the entry: callers must consume it
+// (or copy records out) before the entry is next written or aged again,
+// i.e. within the same simulation event. When no whole second has elapsed
+// since storage the stored records are returned directly; otherwise the
+// TTL-decremented view is built in a per-entry scratch slice, so two
+// simultaneously live Gets of *different* entries (the referral walk holds
+// an NS set while fetching glue A sets) never clobber each other.
 func (c *Cache) Get(now time.Time, name string, qtype dnswire.Type) ([]dnswire.RR, bool) {
 	k := cacheKey{name: dnswire.NormalizeName(name), qtype: qtype}
 	e, ok := c.entries[k]
@@ -77,16 +86,24 @@ func (c *Cache) Get(now time.Time, name string, qtype dnswire.Type) ([]dnswire.R
 		return nil, false
 	}
 	aged := uint32(now.Sub(e.storedAt) / time.Second)
-	out := make([]dnswire.RR, len(e.rrs))
-	for i, rr := range e.rrs {
-		if rr.TTL > aged {
-			rr.TTL -= aged
-		} else {
-			rr.TTL = 0
-		}
-		out[i] = rr
+	if aged == 0 {
+		return e.rrs, true
 	}
-	return out, true
+	if cap(e.aged) < len(e.rrs) {
+		e.aged = make([]dnswire.RR, len(e.rrs))
+	}
+	e.aged = e.aged[:len(e.rrs)]
+	// Bulk-copy the records, then patch TTLs in place: one memmove beats
+	// a per-record struct copy for the wide RR type.
+	copy(e.aged, e.rrs)
+	for i := range e.aged {
+		if e.aged[i].TTL > aged {
+			e.aged[i].TTL -= aged
+		} else {
+			e.aged[i].TTL = 0
+		}
+	}
+	return e.aged, true
 }
 
 // GetNegative reports whether (name, qtype) is negatively cached.

@@ -23,6 +23,7 @@ package dnsresolver
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"chronosntp/internal/dnswire"
@@ -150,7 +151,7 @@ type inflightQuery struct {
 	srcPort uint16
 	zone    string      // zone of the server currently queried
 	server  simnet.Addr // server currently queried
-	timer   *simnet.Timer
+	timer   simnet.Timer
 }
 
 // New binds a resolver to host, listening for stub queries on port 53.
@@ -189,7 +190,7 @@ func (r *Resolver) Host() *simnet.Host { return r.host }
 
 // handleClient serves stub clients over UDP.
 func (r *Resolver) handleClient(now time.Time, meta simnet.Meta, payload []byte) {
-	query, err := dnswire.Decode(payload)
+	query, err := dnswire.DecodeBorrow(payload)
 	if err != nil || query.Response || len(query.Questions) != 1 {
 		return
 	}
@@ -240,11 +241,12 @@ func (r *Resolver) Lookup(name string, qtype dnswire.Type, cb Callback) {
 }
 
 // deepestKnownZone finds the most specific zone containing name for which
-// we know a server address, from cached NS+A records and hints.
+// we know a server address, from cached NS+A records and hints. It walks
+// the suffixes from most specific to the root ("") by reslicing name, so
+// the per-step walk allocates nothing.
 func (r *Resolver) deepestKnownZone(now time.Time, name string) (zone string, addr simnet.Addr, ok bool) {
-	// Walk suffixes from most specific to root.
-	labels := splitSuffixes(name)
-	for _, suffix := range labels {
+	suffix := name
+	for {
 		if nsSet, found := r.cache.Get(now, suffix, dnswire.TypeNS); found {
 			for _, ns := range nsSet {
 				if aSet, found := r.cache.Get(now, ns.Target, dnswire.TypeA); found && len(aSet) > 0 {
@@ -257,27 +259,14 @@ func (r *Resolver) deepestKnownZone(now time.Time, name string) (zone string, ad
 				return suffix, h.Addr, true
 			}
 		}
-	}
-	return "", simnet.Addr{}, false
-}
-
-// splitSuffixes returns name and all its parent domains, ending with the
-// root ("").
-func splitSuffixes(name string) []string {
-	var out []string
-	for {
-		out = append(out, name)
-		if name == "" {
-			return out
+		if suffix == "" {
+			return "", simnet.Addr{}, false
 		}
-		for i := 0; i < len(name); i++ {
-			if name[i] == '.' {
-				name = name[i+1:]
-				goto next
-			}
+		if i := strings.IndexByte(suffix, '.'); i >= 0 {
+			suffix = suffix[i+1:]
+		} else {
+			suffix = ""
 		}
-		name = ""
-	next:
 	}
 }
 
@@ -364,9 +353,7 @@ func (r *Resolver) upstreamHandler(q *inflightQuery) simnet.Handler {
 
 // processResponse consumes a validated upstream response.
 func (r *Resolver) processResponse(q *inflightQuery, now time.Time, msg *dnswire.Message) {
-	if q.timer != nil {
-		q.timer.Cancel()
-	}
+	q.timer.Cancel()
 	switch msg.RCode {
 	case dnswire.RCodeNoError:
 	case dnswire.RCodeNXDomain:
@@ -435,9 +422,7 @@ func (r *Resolver) processResponse(q *inflightQuery, now time.Time, msg *dnswire
 
 // finish delivers the result to all waiters and releases resources.
 func (r *Resolver) finish(q *inflightQuery, res Result) {
-	if q.timer != nil {
-		q.timer.Cancel()
-	}
+	q.timer.Cancel()
 	if q.srcPort != 0 {
 		r.host.Close(q.srcPort)
 		q.srcPort = 0

@@ -41,16 +41,14 @@ func (s *Stub) Lookup(name string, qtype dnswire.Type, cb Callback) {
 	txid := uint16(net.Rand().Intn(1 << 16))
 	port := s.host.EphemeralPort()
 	done := false
-	var timer *simnet.Timer
+	var timer simnet.Timer
 
 	finish := func(res Result) {
 		if done {
 			return
 		}
 		done = true
-		if timer != nil {
-			timer.Cancel()
-		}
+		timer.Cancel()
 		s.host.Close(port)
 		cb(res)
 	}

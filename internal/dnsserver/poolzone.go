@@ -62,6 +62,15 @@ type PoolZone struct {
 	cfg       PoolConfig
 	inventory []simnet.IP
 	epoch     time.Time
+
+	// Memoized RotateWindowed selection. Every query inside one window
+	// sees the same subset by construction, so the window-seeded draw (a
+	// full 607-word RNG seeding per call) and its A-record set are
+	// computed once per window and replayed for the rest of it.
+	memoWindow int64
+	memoIPs    []simnet.IP
+	memoRRs    []dnswire.RR
+	memoValid  bool
 }
 
 var _ Responder = (*PoolZone)(nil)
@@ -93,6 +102,12 @@ func (p *PoolZone) Respond(now time.Time, q dnswire.Question, rng *rand.Rand) An
 	if q.Type != dnswire.TypeA {
 		return Answer{} // NOERROR, no data
 	}
+	if p.cfg.Rotation != RotateRandom {
+		p.refreshWindow(now)
+		// The memoized record set is shared across every query of the
+		// window; handlers treat answer sections as read-only.
+		return Answer{Answers: p.memoRRs}
+	}
 	ips := p.Select(now, rng)
 	ans := Answer{Answers: make([]dnswire.RR, 0, len(ips))}
 	for _, ip := range ips {
@@ -101,24 +116,43 @@ func (p *PoolZone) Respond(now time.Time, q dnswire.Question, rng *rand.Rand) An
 	return ans
 }
 
-// Select returns the addresses the pool would answer with at time now.
-// Exported so attack code can "probe" the response without the network
-// round-trip in analytical experiments.
-func (p *PoolZone) Select(now time.Time, rng *rand.Rand) []simnet.IP {
+// refreshWindow recomputes the memoized windowed selection if now falls in
+// a different rotation window than the cached one.
+func (p *PoolZone) refreshWindow(now time.Time) {
+	window := int64(now.Sub(p.epoch) / p.cfg.Window)
+	if p.memoValid && p.memoWindow == window {
+		return
+	}
 	k := p.cfg.PerResponse
 	if k > len(p.inventory) {
 		k = len(p.inventory)
 	}
-	switch p.cfg.Rotation {
-	case RotateRandom:
-		return p.pick(rng, k)
-	default:
-		window := now.Sub(p.epoch) / p.cfg.Window
-		// A window-seeded RNG gives every query in the window the same
-		// deterministic subset.
-		wrng := rand.New(rand.NewSource(int64(window) ^ 0x5DEECE66D))
-		return p.pick(wrng, k)
+	// A window-seeded RNG gives every query in the window the same
+	// deterministic subset.
+	wrng := rand.New(rand.NewSource(window ^ 0x5DEECE66D))
+	p.memoIPs = append(p.memoIPs[:0], p.pick(wrng, k)...)
+	p.memoRRs = p.memoRRs[:0]
+	for _, ip := range p.memoIPs {
+		p.memoRRs = append(p.memoRRs, dnswire.ARecord(p.cfg.Name, p.cfg.TTL, [4]byte(ip)))
 	}
+	p.memoWindow, p.memoValid = window, true
+}
+
+// Select returns the addresses the pool would answer with at time now.
+// Exported so attack code can "probe" the response without the network
+// round-trip in analytical experiments. In RotateWindowed mode the
+// returned slice is the memoized per-window selection — treat it as
+// read-only and consume it before the window rolls over.
+func (p *PoolZone) Select(now time.Time, rng *rand.Rand) []simnet.IP {
+	if p.cfg.Rotation == RotateRandom {
+		k := p.cfg.PerResponse
+		if k > len(p.inventory) {
+			k = len(p.inventory)
+		}
+		return p.pick(rng, k)
+	}
+	p.refreshWindow(now)
+	return p.memoIPs
 }
 
 // pick draws k distinct inventory addresses using rng.

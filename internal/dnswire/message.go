@@ -352,7 +352,22 @@ func appendRR(buf []byte, rr RR, c *compressor) ([]byte, error) {
 // are ignored, as most real implementations do — the checksum-compensating
 // spoofed fragments of the defragmentation attack depend on exactly this
 // leniency.
-func Decode(b []byte) (*Message, error) {
+//
+// Decode copies RDATA, so the returned Message is independent of b and may
+// outlive it. Parsers on hot paths that consume the message before their
+// packet buffer is recycled should use DecodeBorrow instead.
+func Decode(b []byte) (*Message, error) { return decode(b, false) }
+
+// DecodeBorrow parses like Decode but in zero-copy mode: the Raw field of
+// opaque (unmodeled) record types aliases b instead of copying it. Use it
+// only when the Message is fully consumed before b is reused — e.g. a
+// simnet UDP handler parsing its borrowed payload — and use Decode whenever
+// any record may be retained (cached, forwarded to a later event). All
+// other RDATA fields (names, TXT chunks, addresses) are fresh allocations
+// in both modes.
+func DecodeBorrow(b []byte) (*Message, error) { return decode(b, true) }
+
+func decode(b []byte, borrow bool) (*Message, error) {
 	if len(b) < 12 {
 		return nil, ErrShortMessage
 	}
@@ -373,6 +388,9 @@ func Decode(b []byte) (*Message, error) {
 
 	off := 12
 	var err error
+	if qd > 0 {
+		m.Questions = make([]Question, 0, sectionCap(qd))
+	}
 	for i := 0; i < qd; i++ {
 		var q Question
 		q.Name, off, err = readName(b, off)
@@ -387,31 +405,47 @@ func Decode(b []byte) (*Message, error) {
 		off += 4
 		m.Questions = append(m.Questions, q)
 	}
-	read := func(count int) ([]RR, error) {
-		var rrs []RR
-		for i := 0; i < count; i++ {
-			var rr RR
-			rr, off, err = readRR(b, off)
-			if err != nil {
-				return nil, err
-			}
-			rrs = append(rrs, rr)
-		}
-		return rrs, nil
-	}
-	if m.Answers, err = read(an); err != nil {
+	if m.Answers, off, err = readSection(b, off, an, borrow); err != nil {
 		return nil, err
 	}
-	if m.Authority, err = read(ns); err != nil {
+	if m.Authority, off, err = readSection(b, off, ns, borrow); err != nil {
 		return nil, err
 	}
-	if m.Additional, err = read(ar); err != nil {
+	if m.Additional, _, err = readSection(b, off, ar, borrow); err != nil {
 		return nil, err
 	}
 	return m, nil
 }
 
-func readRR(b []byte, off int) (RR, int, error) {
+// sectionCap bounds the pre-sized capacity of a decoded section: the
+// counts are attacker-controlled 16-bit values, so trust them only up to a
+// modest prefix and let append grow beyond it.
+func sectionCap(count int) int {
+	if count > 64 {
+		return 64
+	}
+	return count
+}
+
+// readSection parses count resource records starting at off.
+func readSection(b []byte, off, count int, borrow bool) ([]RR, int, error) {
+	if count == 0 {
+		return nil, off, nil
+	}
+	rrs := make([]RR, 0, sectionCap(count))
+	for i := 0; i < count; i++ {
+		var rr RR
+		var err error
+		rr, off, err = readRR(b, off, borrow)
+		if err != nil {
+			return nil, 0, err
+		}
+		rrs = append(rrs, rr)
+	}
+	return rrs, off, nil
+}
+
+func readRR(b []byte, off int, borrow bool) (RR, int, error) {
 	var rr RR
 	var err error
 	rr.Name, off, err = readName(b, off)
@@ -474,7 +508,11 @@ func readRR(b []byte, off int) (RR, int, error) {
 	case TypeOPT:
 		// Class carries the UDP size; RDATA options are ignored.
 	default:
-		rr.Raw = append([]byte(nil), rdata...)
+		if borrow {
+			rr.Raw = rdata
+		} else {
+			rr.Raw = append([]byte(nil), rdata...)
+		}
 	}
 	return rr, off + rdlen, nil
 }

@@ -20,9 +20,18 @@ const maxNameWire = 255
 
 // NormalizeName lower-cases a domain name and strips a trailing dot,
 // yielding the canonical form used throughout this package ("" is the
-// root).
+// root). A name already in canonical form is returned unchanged without
+// allocating — the common case on the parse and cache hot paths, where
+// every name has already passed through normalization once.
 func NormalizeName(name string) string {
-	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	if len(name) > 0 && name[len(name)-1] == '.' {
+		name = name[:len(name)-1]
+	}
+	for i := 0; i < len(name); i++ {
+		if c := name[i]; 'A' <= c && c <= 'Z' {
+			return strings.ToLower(name)
+		}
+	}
 	return name
 }
 
@@ -87,15 +96,42 @@ func newCompressor() *compressor {
 }
 
 // appendName encodes name at the current end of buf, using c for
-// compression when non-nil.
+// compression when non-nil. It walks the canonical name by byte offset —
+// every suffix of a canonical name is a substring, so label iteration and
+// the compressor's suffix keys need no per-name slice or join allocations.
 func appendName(buf []byte, name string, c *compressor) ([]byte, error) {
-	labels, err := splitLabels(name)
-	if err != nil {
-		return nil, err
+	name = NormalizeName(name)
+	if name == "" {
+		return append(buf, 0), nil
 	}
-	for i := range labels {
-		suffix := strings.Join(labels[i:], ".")
+	// Validate with the same checks (and error forms) splitLabels applies.
+	total := 1 // root byte
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i < len(name) && name[i] != '.' {
+			continue
+		}
+		l := i - start
+		if l == 0 {
+			return nil, fmt.Errorf("%w in %q", ErrEmptyLabel, name)
+		}
+		if l > 63 {
+			return nil, fmt.Errorf("%w: %q", ErrLabelTooLong, name[start:i])
+		}
+		total += 1 + l
+		start = i + 1
+	}
+	if total > maxNameWire {
+		return nil, fmt.Errorf("%w: %q", ErrNameTooLong, name)
+	}
+	pos := 0
+	for pos < len(name) {
+		end := pos
+		for end < len(name) && name[end] != '.' {
+			end++
+		}
 		if c != nil {
+			suffix := name[pos:]
 			if off, ok := c.offsets[suffix]; ok && off <= 0x3FFF {
 				return append(buf, byte(0xC0|off>>8), byte(off)), nil
 			}
@@ -103,8 +139,9 @@ func appendName(buf []byte, name string, c *compressor) ([]byte, error) {
 				c.offsets[suffix] = len(buf)
 			}
 		}
-		buf = append(buf, byte(len(labels[i])))
-		buf = append(buf, labels[i]...)
+		buf = append(buf, byte(end-pos))
+		buf = append(buf, name[pos:end]...)
+		pos = end + 1
 	}
 	return append(buf, 0), nil
 }
@@ -114,6 +151,10 @@ func appendName(buf []byte, name string, c *compressor) ([]byte, error) {
 // original (non-pointer) stream.
 func readName(msg []byte, off int) (string, int, error) {
 	var sb strings.Builder
+	// One upfront grow covers any legal name (255 octets wire ⇒ <255
+	// canonical bytes), so the byte-at-a-time lowercasing loop below never
+	// reallocates. Builder.String() hands the buffer over without copying.
+	sb.Grow(maxNameWire)
 	jumped := false
 	after := off
 	hops := 0
@@ -152,7 +193,12 @@ func readName(msg []byte, off int) (string, int, error) {
 			if sb.Len() > 0 {
 				sb.WriteByte('.')
 			}
-			sb.Write(toLowerASCII(msg[off+1 : off+1+l]))
+			for _, ch := range msg[off+1 : off+1+l] {
+				if 'A' <= ch && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				sb.WriteByte(ch)
+			}
 			if sb.Len() > maxNameWire {
 				return "", 0, ErrNameTooLong
 			}
@@ -162,15 +208,4 @@ func readName(msg []byte, off int) (string, int, error) {
 			}
 		}
 	}
-}
-
-func toLowerASCII(b []byte) []byte {
-	out := make([]byte, len(b))
-	for i, c := range b {
-		if 'A' <= c && c <= 'Z' {
-			c += 'a' - 'A'
-		}
-		out[i] = c
-	}
-	return out
 }

@@ -21,13 +21,16 @@
 package fleet
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"time"
 
 	"chronosntp/internal/chronos"
 	"chronosntp/internal/core"
 	"chronosntp/internal/dnsresolver"
+	"chronosntp/internal/runner"
 )
 
 // Distribution selects how the client population fans out across the
@@ -165,6 +168,106 @@ func (c Config) withDefaults() Config {
 
 // ErrFleet wraps fleet construction failures.
 var ErrFleet = errors.New("fleet: setup")
+
+// ErrNotBuilt is returned by Simulate when Build has not run (or the fleet
+// was already consumed by a previous Simulate).
+var ErrNotBuilt = errors.New("fleet: Simulate requires a successful Build first")
+
+// Fleet separates a fleet run into its two phases so callers (benchmarks
+// above all) can time them independently: Build constructs every shard's
+// topology and population, Simulate advances the event loops to the
+// horizon and measures. Both phases fan shards across internal/runner's
+// worker pool, and shard i's work is identical whether the phases are
+// interleaved (the old Run behaviour) or batched — each shard owns its
+// network and RNG — so a fleet run stays bit-identical at any parallelism
+// and through either entry point.
+type Fleet struct {
+	cfg    Config
+	plans  []shardPlan
+	shards []*shardState
+}
+
+// New plans a fleet from cfg (defaults applied) without constructing
+// anything.
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	return &Fleet{cfg: cfg, plans: plan(cfg)}
+}
+
+// Config returns the resolved configuration.
+func (f *Fleet) Config() Config { return f.cfg }
+
+// Build constructs every shard — seeded network, backbone, resolver,
+// client population, attacker schedule — across parallel workers
+// (≤0 = GOMAXPROCS). No virtual time passes.
+func (f *Fleet) Build(ctx context.Context, parallel int) error {
+	shards := make([]*shardState, len(f.plans))
+	err := runner.ForEach(ctx, len(f.plans), parallel, func(i int) error {
+		s, err := buildShard(f.cfg, f.plans[i])
+		if err != nil {
+			return fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		shards[i] = s
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	f.shards = shards
+	return nil
+}
+
+// Simulate runs every built shard to its horizon and reduces the
+// measurements in shard-index order. The built state is consumed: call
+// Build again before another Simulate.
+func (f *Fleet) Simulate(ctx context.Context, parallel int) (*Result, error) {
+	if f.shards == nil {
+		return nil, ErrNotBuilt
+	}
+	shards := f.shards
+	f.shards = nil
+	results := make([]ShardResult, len(shards))
+	err := runner.ForEach(ctx, len(shards), parallel, func(i int) error {
+		sr, err := shards[i].simulate(f.cfg)
+		if err != nil {
+			return fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		results[i] = *sr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reduce(f.cfg, results), nil
+}
+
+// Run executes the fleet end to end: one seeded simulation per resolver
+// shard, fanned across parallel workers (≤0 = GOMAXPROCS), reduced in
+// shard-index order. Same Config ⇒ bit-identical Result at any
+// parallelism. Each shard is built and simulated inside one worker task,
+// so peak memory holds only `parallel` live networks — use the phased
+// Fleet API when setup and steady state must be separated instead.
+func Run(ctx context.Context, cfg Config, parallel int) (*Result, error) {
+	cfg = cfg.withDefaults()
+	plans := plan(cfg)
+	shards := make([]ShardResult, len(plans))
+	err := runner.ForEach(ctx, len(plans), parallel, func(i int) error {
+		s, err := buildShard(cfg, plans[i])
+		if err != nil {
+			return fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		sr, err := s.simulate(cfg)
+		if err != nil {
+			return fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+		shards[i] = *sr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reduce(cfg, shards), nil
+}
 
 // Apportion splits clients across resolvers according to the
 // distribution, using the largest-remainder method so the counts sum to

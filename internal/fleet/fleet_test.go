@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"runtime"
 	"testing"
@@ -94,6 +95,51 @@ func TestFleetDeterministicAcrossParallelism(t *testing.T) {
 // TestFleet10kDeterministic is the acceptance-scale check: a 10 000-client
 // fleet over the full 24-query pool-generation horizon produces an
 // identical result at -parallel 1 and -parallel GOMAXPROCS.
+// TestFleetPhasedMatchesRun pins the phased Build/Simulate API to the
+// one-shot Run path: same Config ⇒ identical Result, at every parallelism
+// level, because each shard owns its network and RNG regardless of how the
+// phases are batched. This is what lets the benchmarks time setup and
+// steady state separately without measuring a different simulation.
+func TestFleetPhasedMatchesRun(t *testing.T) {
+	cfg := testConfig(2)
+	want, err := Run(context.Background(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 2, 4, 8} {
+		f := New(cfg)
+		if err := f.Build(context.Background(), parallel); err != nil {
+			t.Fatalf("parallel=%d: Build: %v", parallel, err)
+		}
+		got, err := f.Simulate(context.Background(), parallel)
+		if err != nil {
+			t.Fatalf("parallel=%d: Simulate: %v", parallel, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallel=%d: phased result differs from Run:\nrun:    %+v\nphased: %+v",
+				parallel, want, got)
+		}
+	}
+}
+
+// TestFleetSimulateRequiresBuild covers the consume-once contract of the
+// phased API.
+func TestFleetSimulateRequiresBuild(t *testing.T) {
+	f := New(testConfig(0))
+	if _, err := f.Simulate(context.Background(), 1); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("Simulate before Build: err = %v, want ErrNotBuilt", err)
+	}
+	if err := f.Build(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Simulate(context.Background(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Simulate(context.Background(), 0); !errors.Is(err, ErrNotBuilt) {
+		t.Fatalf("second Simulate: err = %v, want ErrNotBuilt", err)
+	}
+}
+
 func TestFleet10kDeterministic(t *testing.T) {
 	cfg := Config{
 		Seed: 1, Clients: 10_000, Resolvers: 10, Poisoned: 1,

@@ -1,8 +1,6 @@
 package fleet
 
 import (
-	"context"
-	"fmt"
 	"math/rand"
 	"time"
 
@@ -12,7 +10,6 @@ import (
 	"chronosntp/internal/dnsresolver"
 	"chronosntp/internal/dnswire"
 	"chronosntp/internal/ntpclient"
-	"chronosntp/internal/runner"
 	"chronosntp/internal/shiftsim"
 	"chronosntp/internal/simnet"
 )
@@ -30,26 +27,18 @@ var (
 // finally happens.
 const rearmInterval = 25 * time.Second
 
-// Run executes the fleet: one seeded simulation per resolver shard,
-// fanned across parallel workers (≤0 = GOMAXPROCS), reduced in
-// shard-index order. Same Config ⇒ bit-identical Result at any
-// parallelism.
-func Run(ctx context.Context, cfg Config, parallel int) (*Result, error) {
-	cfg = cfg.withDefaults()
-	plans := plan(cfg)
-	shards := make([]ShardResult, len(plans))
-	err := runner.ForEach(ctx, len(plans), parallel, func(i int) error {
-		sr, err := runShard(cfg, plans[i])
-		if err != nil {
-			return fmt.Errorf("fleet: shard %d: %w", i, err)
-		}
-		shards[i] = *sr
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return reduce(cfg, shards), nil
+// shardState is one fully constructed resolver shard, ready to simulate:
+// the seeded network with every client start, attacker action, and horizon
+// already scheduled, plus the handles the measurement pass reads.
+type shardState struct {
+	plan           shardPlan
+	net            *simnet.Network
+	bb             *core.Backbone
+	resolver       *dnsresolver.Resolver
+	chronosClients []*chronos.Client
+	classicClients []*ntpclient.Client
+	att            *core.Attacker
+	end            time.Time
 }
 
 // shiftModel memoises the population shift metric: whether an attacker
@@ -111,8 +100,11 @@ func (m *shiftModel) compositionSeed(poolSize, malicious int) int64 {
 	return m.seed*1_000_003 + int64(poolSize)*104_729 + int64(malicious)*7919 + 17
 }
 
-// runShard simulates one resolver and its client slice end to end.
-func runShard(cfg Config, p shardPlan) (*ShardResult, error) {
+// buildShard constructs one resolver shard: topology, client population,
+// and attacker, with every action scheduled on the shard's own seeded
+// network. No virtual time passes here — the returned state is the t=0
+// snapshot that simulate advances.
+func buildShard(cfg Config, p shardPlan) (*shardState, error) {
 	net := simnet.New(simnet.Config{Seed: p.seed})
 	bb, err := core.BuildBackbone(net, core.BackboneConfig{
 		BenignServers:    cfg.BenignServers,
@@ -227,7 +219,24 @@ func runShard(cfg Config, p shardPlan) (*ShardResult, error) {
 		}
 	}
 
-	net.Run(end)
+	return &shardState{
+		plan:           p,
+		net:            net,
+		bb:             bb,
+		resolver:       resolver,
+		chronosClients: chronosClients,
+		classicClients: classicClients,
+		att:            att,
+		end:            end,
+	}, nil
+}
+
+// simulate runs the shard's event loop to the horizon and measures the
+// population. This is the steady-state region the fleet benchmark times;
+// buildShard is the setup it excludes.
+func (s *shardState) simulate(cfg Config) (*ShardResult, error) {
+	p := s.plan
+	s.net.Run(s.end)
 
 	// Measure the population.
 	res := &ShardResult{
@@ -238,11 +247,11 @@ func runShard(cfg Config, p shardPlan) (*ShardResult, error) {
 		Classic:  p.classic,
 	}
 	model := newShiftModel(cfg, p.seed)
-	for _, c := range chronosClients {
+	for _, c := range s.chronosClients {
 		var malicious, total int
-		for _, e := range c.Pool() {
+		for _, e := range c.PoolView() {
 			total++
-			if bb.IsMalicious(e.IP) {
+			if s.bb.IsMalicious(e.IP) {
 				malicious++
 			}
 		}
@@ -256,11 +265,13 @@ func runShard(cfg Config, p shardPlan) (*ShardResult, error) {
 			res.ChronosShifted++
 		}
 	}
-	for _, cl := range classicClients {
-		servers := cl.Servers()
+	var scratch []simnet.Addr
+	for _, cl := range s.classicClients {
+		servers := cl.ServersInto(scratch[:0])
+		scratch = servers
 		malicious := 0
 		for _, a := range servers {
-			if bb.IsMalicious(a.IP) {
+			if s.bb.IsMalicious(a.IP) {
 				malicious++
 			}
 		}
@@ -268,12 +279,12 @@ func runShard(cfg Config, p shardPlan) (*ShardResult, error) {
 			res.ClassicSubverted++
 		}
 	}
-	res.ResolverStats = resolver.Stats()
-	if att != nil {
-		if att.Hijacker != nil {
-			res.Planted = att.Hijacker.Hijacked > 0
-		} else if att.Poisoner != nil {
-			res.Planted = core.GluePoisoned(resolver)
+	res.ResolverStats = s.resolver.Stats()
+	if s.att != nil {
+		if s.att.Hijacker != nil {
+			res.Planted = s.att.Hijacker.Hijacked > 0
+		} else if s.att.Poisoner != nil {
+			res.Planted = core.GluePoisoned(s.resolver)
 		}
 	}
 	return res, nil

@@ -34,7 +34,6 @@ package ipfrag
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 )
 
@@ -198,10 +197,24 @@ type span struct{ lo, hi int }
 type partial struct {
 	buf      []byte
 	covered  []span
-	total    int // total length, -1 until the final fragment is seen
+	spare    []span // double-buffer flipped with covered on each merge
+	total    int    // total length, -1 until the final fragment is seen
 	frags    int
 	firstAt  time.Time
 	arrivals int
+}
+
+// reset prepares a (possibly recycled) partial for a new datagram. The
+// buffer is resliced, not zeroed: a datagram only completes once every
+// byte of [0, total) has been copied in from some fragment, so stale bytes
+// from a previous occupant can never surface in a returned payload.
+func (p *partial) reset(now time.Time) {
+	p.buf = p.buf[:0]
+	p.covered = p.covered[:0]
+	p.total = -1
+	p.frags = 0
+	p.arrivals = 0
+	p.firstAt = now
 }
 
 // Reassembler is a receiver-side IPv4 fragment cache.
@@ -210,10 +223,20 @@ type partial struct {
 // covered and the total length is known. Reassembly deliberately performs
 // no authenticity check beyond the FlowKey — that is the real protocol's
 // (absent) security model and the attack surface under study.
+//
+// Reassembly is allocation-free in steady state: partial-datagram state
+// (buffers and coverage spans) is recycled through a free-list when entries
+// complete or expire. The payload Insert returns is therefore borrowed —
+// valid only until the next call into the Reassembler — which matches how
+// simnet's single-threaded event loop consumes it (the receiving handler
+// runs to completion before any further packet can arrive).
 type Reassembler struct {
 	cfg      Config
 	pending  map[FlowKey]*partial
-	evicting []FlowKey // scratch, reused across Evict calls
+	evicting []FlowKey  // scratch, reused across Evict calls
+	freed    []*partial // recycled partials ready for reuse
+	retired  *partial   // completed partial whose buf backs the last returned payload
+	gapbuf   []span     // scratch for FirstWins gap copies
 }
 
 // NewReassembler returns a Reassembler with the given configuration.
@@ -229,8 +252,16 @@ func (r *Reassembler) Pending() int { return len(r.pending) }
 
 // Insert adds a fragment observed at time now. It returns (payload, true)
 // when the fragment completes a datagram; the cache entry is then removed.
-// Whole (unfragmented) datagrams pass straight through.
+// Whole (unfragmented) datagrams pass straight through. The returned
+// payload is borrowed: it is valid until the next call into the
+// Reassembler, after which its backing buffer may be recycled.
 func (r *Reassembler) Insert(now time.Time, f Fragment) ([]byte, bool) {
+	if r.retired != nil {
+		// The payload returned by the previous completing Insert is out of
+		// its borrow window now; recycle its backing state.
+		r.freed = append(r.freed, r.retired)
+		r.retired = nil
+	}
 	if f.IsWhole() {
 		return f.Data, true
 	}
@@ -252,7 +283,7 @@ func (r *Reassembler) Insert(now time.Time, f Fragment) ([]byte, bool) {
 		if len(r.pending) >= r.cfg.MaxDatagrams {
 			return nil, false // cache full: drop, do not evict live entries
 		}
-		p = &partial{buf: make([]byte, 0, 2048), total: -1, firstAt: now}
+		p = r.newPartial(now)
 		r.pending[f.Key] = p
 	}
 	if p.frags >= r.cfg.MaxFragments {
@@ -273,16 +304,43 @@ func (r *Reassembler) Insert(now time.Time, f Fragment) ([]byte, bool) {
 		}
 	}
 	if end > len(p.buf) {
-		p.buf = append(p.buf, make([]byte, end-len(p.buf))...)
+		// Grow in place: reslice within capacity, one make on real growth.
+		// The grown region is deliberately not zeroed — see partial.reset.
+		if end <= cap(p.buf) {
+			p.buf = p.buf[:end]
+		} else {
+			c := 2 * cap(p.buf)
+			if c < end {
+				c = end
+			}
+			grown := make([]byte, end, c)
+			copy(grown, p.buf)
+			p.buf = grown
+		}
 	}
 	r.write(p, f.Offset, f.Data)
 
 	if p.total >= 0 && coversAll(p.covered, p.total) {
-		out := clone(p.buf[:p.total])
+		out := p.buf[:p.total]
 		delete(r.pending, f.Key)
+		r.retired = p
 		return out, true
 	}
 	return nil, false
+}
+
+// newPartial pops a recycled partial or allocates a fresh one.
+func (r *Reassembler) newPartial(now time.Time) *partial {
+	var p *partial
+	if k := len(r.freed) - 1; k >= 0 {
+		p = r.freed[k]
+		r.freed[k] = nil
+		r.freed = r.freed[:k]
+	} else {
+		p = &partial{buf: make([]byte, 0, 2048)}
+	}
+	p.reset(now)
+	return p
 }
 
 // write copies data into the buffer respecting the overlap policy and
@@ -293,14 +351,16 @@ func (r *Reassembler) write(p *partial, off int, data []byte) {
 		copy(p.buf[lo:hi], data)
 	} else {
 		// FirstWins: only fill bytes not yet covered.
-		for _, gap := range gaps(p.covered, lo, hi) {
+		r.gapbuf = appendGaps(r.gapbuf[:0], p.covered, lo, hi)
+		for _, gap := range r.gapbuf {
 			copy(p.buf[gap.lo:gap.hi], data[gap.lo-lo:gap.hi-lo])
 		}
 	}
-	p.covered = mergeSpan(p.covered, span{lo, hi})
+	p.covered, p.spare = mergeSpan(p.spare[:0], p.covered, span{lo, hi}), p.covered
 }
 
-// Evict drops partial datagrams older than the configured timeout.
+// Evict drops partial datagrams older than the configured timeout,
+// recycling their state.
 func (r *Reassembler) Evict(now time.Time) {
 	r.evicting = r.evicting[:0]
 	for k, p := range r.pending {
@@ -309,6 +369,7 @@ func (r *Reassembler) Evict(now time.Time) {
 		}
 	}
 	for _, k := range r.evicting {
+		r.freed = append(r.freed, r.pending[k])
 		delete(r.pending, k)
 	}
 }
@@ -327,9 +388,12 @@ func (r *Reassembler) HasPending(key FlowKey) bool {
 	return ok
 }
 
-// mergeSpan inserts s into sorted disjoint spans, coalescing neighbours.
-func mergeSpan(spans []span, s span) []span {
-	out := make([]span, 0, len(spans)+1)
+// mergeSpan appends the union of sorted disjoint spans and s into out,
+// coalescing neighbours, and returns out. The result is sorted by
+// construction: spans strictly before s are emitted first, every span
+// overlapping or touching s is absorbed into it, and s is emitted before
+// the first span strictly after it.
+func mergeSpan(out, spans []span, s span) []span {
 	inserted := false
 	for _, cur := range spans {
 		switch {
@@ -353,13 +417,12 @@ func mergeSpan(spans []span, s span) []span {
 	if !inserted {
 		out = append(out, s)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].lo < out[j].lo })
 	return out
 }
 
-// gaps returns the sub-ranges of [lo, hi) not covered by spans.
-func gaps(spans []span, lo, hi int) []span {
-	var out []span
+// appendGaps appends the sub-ranges of [lo, hi) not covered by spans onto
+// out and returns it.
+func appendGaps(out, spans []span, lo, hi int) []span {
 	cur := lo
 	for _, s := range spans {
 		if s.hi <= cur {

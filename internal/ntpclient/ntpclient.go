@@ -116,7 +116,12 @@ type Client struct {
 	stats   Stats
 	started bool
 	stopped bool
-	timer   *simnet.Timer
+	timer   simnet.Timer
+
+	// Poll-loop method values bound once so the steady state schedules
+	// timers without allocating closures.
+	pollFn    func()
+	processFn func()
 }
 
 // New builds a client. stub is any dnsresolver.Lookuper — the UDP
@@ -124,7 +129,10 @@ type Client struct {
 // *dnsresolver.Resolver handle in the fleet experiments — and may be nil
 // when cfg.ServerIPs is used.
 func New(host *simnet.Host, clk *clock.Clock, stub dnsresolver.Lookuper, cfg Config) *Client {
-	return &Client{host: host, clk: clk, stub: stub, cfg: cfg.withDefaults()}
+	c := &Client{host: host, clk: clk, stub: stub, cfg: cfg.withDefaults()}
+	c.pollFn = c.poll
+	c.processFn = c.process
+	return c
 }
 
 // Clock returns the disciplined clock.
@@ -135,11 +143,16 @@ func (c *Client) Stats() Stats { return c.stats }
 
 // Servers returns the addresses of the active associations.
 func (c *Client) Servers() []simnet.Addr {
-	out := make([]simnet.Addr, len(c.assocs))
-	for i, a := range c.assocs {
-		out[i] = a.addr
+	return c.ServersInto(make([]simnet.Addr, 0, len(c.assocs)))
+}
+
+// ServersInto appends the association addresses to dst and returns it,
+// letting measurement loops reuse one scratch slice across many clients.
+func (c *Client) ServersInto(dst []simnet.Addr) []simnet.Addr {
+	for _, a := range c.assocs {
+		dst = append(dst, a.addr)
 	}
-	return out
+	return dst
 }
 
 // Start resolves the server list (once — the classic behaviour) and begins
@@ -166,10 +179,11 @@ func (c *Client) Start(done func(err error)) {
 		if len(ips) > c.cfg.MaxServers {
 			ips = ips[:c.cfg.MaxServers]
 		}
-		for _, ip := range ips {
-			c.assocs = append(c.assocs, &association{
-				addr: simnet.Addr{IP: ip, Port: ntpwire.Port},
-			})
+		backing := make([]association, len(ips))
+		c.assocs = make([]*association, len(ips))
+		for i, ip := range ips {
+			backing[i].addr = simnet.Addr{IP: ip, Port: ntpwire.Port}
+			c.assocs[i] = &backing[i]
 		}
 		c.schedulePoll(0)
 		if done != nil {
@@ -190,9 +204,7 @@ func (c *Client) Start(done func(err error)) {
 // Stop halts the poll loop and releases ports.
 func (c *Client) Stop() {
 	c.stopped = true
-	if c.timer != nil {
-		c.timer.Cancel()
-	}
+	c.timer.Cancel()
 	for _, a := range c.assocs {
 		if a.port != 0 {
 			c.host.Close(a.port)
@@ -205,7 +217,7 @@ func (c *Client) schedulePoll(d time.Duration) {
 	if c.stopped {
 		return
 	}
-	c.timer = c.host.Net().After(d, c.poll)
+	c.timer = c.host.Net().After(d, c.pollFn)
 }
 
 // poll sends one request to every association, then processes responses
@@ -220,7 +232,7 @@ func (c *Client) poll() {
 	}
 	c.stats.Polls++
 	// Give responses one second of simulated time, then run selection.
-	net.After(time.Second, c.process)
+	net.After(time.Second, c.processFn)
 	c.schedulePoll(c.cfg.PollInterval)
 }
 

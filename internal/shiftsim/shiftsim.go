@@ -220,6 +220,10 @@ func newEngine(cfg Config) *engine {
 		benign: cfg.PoolSize - cfg.Malicious,
 		idx:    make([]int, cfg.PoolSize),
 		honest: make([]time.Duration, cfg.PoolSize-cfg.Malicious),
+		// The panic sweep samples the whole pool, so sizing the attempt
+		// buffer for it up front keeps the round loop allocation-free
+		// (rule evaluation sorts this scratch in place).
+		offsets: make([]time.Duration, 0, cfg.PoolSize),
 	}
 	for i := range e.idx {
 		e.idx[i] = i

@@ -16,6 +16,15 @@
 //     attackers.
 //  3. Simplicity elsewhere: no routing tables (full mesh), no TCP, no ICMP
 //     beyond silent drops.
+//
+// The hot paths are allocation-free in steady state: events live on a
+// free-list (recycled with a generation counter so stale Timer handles
+// cannot cancel a reused slot), packet delivery embeds the Packet in the
+// event instead of a closure, event times are int64 nanoseconds since the
+// network epoch, and unfragmented datagram buffers come from a per-network
+// pool that reclaims them the moment the receiving handler returns.
+// Handlers therefore only borrow their payload: a handler that needs the
+// bytes beyond its own invocation must copy them.
 package simnet
 
 import (
@@ -45,7 +54,9 @@ type Meta struct {
 	IPID uint16
 }
 
-// Handler consumes a reassembled, checksum-valid UDP datagram.
+// Handler consumes a reassembled, checksum-valid UDP datagram. The payload
+// is borrowed: it may be a pooled buffer that the network reclaims as soon
+// as the handler returns, so a handler that keeps the bytes must copy them.
 type Handler func(now time.Time, meta Meta, payload []byte)
 
 // LatencyFn returns the one-way delay for a packet from src to dst. It may
@@ -75,9 +86,13 @@ type Config struct {
 // Network is the simulated internet. All methods must be called from the
 // event-loop thread (handlers and timer callbacks already are).
 type Network struct {
+	start   time.Time // virtual-time epoch; event times are ns since it
 	now     time.Time
+	nowNs   int64
 	queue   eventQueue
 	seq     uint64
+	free    []*event // event free-list (generation-counted)
+	bufs    [][]byte // pooled datagram buffers for the unfragmented path
 	rng     *rand.Rand
 	hosts   map[IP]*Host
 	taps    []tapEntry
@@ -116,6 +131,7 @@ func New(cfg Config) *Network {
 		mtu = func(src, dst IP) int { return DefaultMTU }
 	}
 	return &Network{
+		start:   start,
 		now:     start,
 		rng:     rand.New(rand.NewSource(seed)),
 		hosts:   make(map[IP]*Host),
@@ -185,7 +201,9 @@ func (n *Network) Host(ip IP) (*Host, bool) {
 
 // AddTap installs an on-path observer/mutator and returns a handle used to
 // remove it. Taps run in installation order; the first non-Pass verdict
-// wins.
+// wins. While any tap is installed, transmitted buffers are handed to the
+// tap chain un-pooled (a Replace verdict may alias them), so the zero-alloc
+// fast path applies only to tap-free networks.
 func (n *Network) AddTap(t Tap) TapHandle {
 	n.tapSeq++
 	n.taps = append(n.taps, tapEntry{id: n.tapSeq, tap: t})
@@ -216,18 +234,39 @@ func (h TapHandle) Remove() bool {
 // fragmenting at the path MTU. It returns an error only for local problems
 // (unknown source host, oversized payload); network loss is silent, as in
 // real UDP.
+//
+// The common case — an unfragmented datagram on a tap-free network — runs
+// through the pooled buffer path: the datagram is encoded into a recycled
+// buffer that returns to the pool once the receiving handler (or a drop)
+// is done with it.
 func (n *Network) SendUDP(from, to Addr, payload []byte) error {
 	h, ok := n.hosts[from.IP]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoSuchHost, from.IP)
 	}
-	datagram := EncodeUDP(from, to, payload)
-	if len(datagram) > 65535 {
+	dlen := UDPHeaderSize + len(payload)
+	if dlen > 65535 {
 		return ErrPayloadLimit
 	}
 	id := h.allocIPID()
+	mtu := n.PathMTU(from.IP, to.IP)
+	room := mtu - ipfrag.IPHeaderSize
+	if room < ipfrag.FragmentUnit {
+		return fmt.Errorf("fragment: %w: mtu=%d", ipfrag.ErrMTUTooSmall, mtu)
+	}
+	if dlen <= room && len(n.taps) == 0 {
+		// Fast path: no fragmentation, no taps. Encode straight into a
+		// pooled buffer; it is released after delivery.
+		buf := n.getBuf(dlen)
+		putUDP(buf, from, to, payload)
+		n.schedule(Packet{
+			Src: from.IP, Dst: to.IP, Proto: ProtoUDP, ID: id, Payload: buf,
+		}, buf)
+		return nil
+	}
+	datagram := EncodeUDP(from, to, payload)
 	key := ipfrag.FlowKey{Src: [4]byte(from.IP), Dst: [4]byte(to.IP), Proto: ProtoUDP, ID: id}
-	frags, err := ipfrag.Split(key, datagram, n.PathMTU(from.IP, to.IP))
+	frags, err := ipfrag.Split(key, datagram, mtu)
 	if err != nil {
 		return fmt.Errorf("fragment: %w", err)
 	}
@@ -244,11 +283,21 @@ func (n *Network) SendUDP(from, to Addr, payload []byte) error {
 // use it to send spoofed datagrams and fragments: Src, ID, Offset and More
 // are entirely caller-controlled.
 func (n *Network) Inject(pkt Packet, delay time.Duration) {
-	n.at(n.now.Add(delay), func() { n.transmit(pkt) })
+	if delay < 0 {
+		delay = 0
+	}
+	ev := n.allocEvent()
+	ev.kind = evTransmit
+	ev.pkt = pkt
+	n.push(ev, n.nowNs+int64(delay))
 }
 
 // transmit runs taps, loss, and schedules delivery.
 func (n *Network) transmit(pkt Packet) {
+	if len(n.taps) == 0 {
+		n.schedule(pkt, nil)
+		return
+	}
 	pkts := []Packet{pkt}
 	for _, entry := range n.taps {
 		var next []Packet
@@ -266,13 +315,26 @@ func (n *Network) transmit(pkt Packet) {
 		pkts = next
 	}
 	for _, p := range pkts {
-		if n.loss(p.Src, p.Dst, n.rng) {
-			n.dropped++
-			continue
-		}
-		p := p
-		n.at(n.now.Add(n.latency(p.Src, p.Dst, n.rng)), func() { n.deliver(p) })
+		n.schedule(p, nil)
 	}
+}
+
+// schedule applies loss and enqueues the delivery event. buf, when non-nil,
+// is the pooled backing buffer of p.Payload, reclaimed after delivery (or
+// immediately on loss).
+func (n *Network) schedule(p Packet, buf []byte) {
+	if n.loss(p.Src, p.Dst, n.rng) {
+		n.dropped++
+		if buf != nil {
+			n.releaseBuf(buf)
+		}
+		return
+	}
+	ev := n.allocEvent()
+	ev.kind = evDeliver
+	ev.pkt = p
+	ev.buf = buf
+	n.push(ev, n.nowNs+int64(n.latency(p.Src, p.Dst, n.rng)))
 }
 
 // deliver hands a packet to its destination host: reassembly, UDP
@@ -309,15 +371,19 @@ func (n *Network) deliver(pkt Packet) {
 	}, payload)
 }
 
-// Timer is a cancellable scheduled callback.
+// Timer is a cancellable scheduled callback, valid by value. The zero
+// Timer is inert: Cancel on it reports false.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint32
 }
 
 // Cancel prevents the timer from firing if it has not fired yet. It
-// reports whether the cancellation was effective.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.fired {
+// reports whether the cancellation was effective. A Timer whose event has
+// already fired (and whose slot may have been recycled for a later event)
+// safely reports false.
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.cancelled {
 		return false
 	}
 	t.ev.cancelled = true
@@ -327,19 +393,77 @@ func (t *Timer) Cancel() bool {
 // After schedules fn to run after d of virtual time and returns a
 // cancellable Timer. A non-positive d runs fn at the current instant (but
 // still through the queue, preserving ordering).
-func (n *Network) After(d time.Duration, fn func()) *Timer {
+func (n *Network) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return &Timer{ev: n.at(n.now.Add(d), fn)}
+	ev := n.allocEvent()
+	ev.fn = fn
+	n.push(ev, n.nowNs+int64(d))
+	return Timer{ev: ev, gen: ev.gen}
 }
 
-// at enqueues fn at absolute virtual time t.
-func (n *Network) at(t time.Time, fn func()) *event {
+// allocEvent pops a recycled event or allocates a fresh one.
+func (n *Network) allocEvent() *event {
+	if k := len(n.free) - 1; k >= 0 {
+		ev := n.free[k]
+		n.free[k] = nil
+		n.free = n.free[:k]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped event to the free-list, releasing any pooled
+// payload buffer it carried and bumping the generation so outstanding
+// Timer handles go inert.
+func (n *Network) recycle(ev *event) {
+	if ev.buf != nil {
+		n.releaseBuf(ev.buf)
+		ev.buf = nil
+	}
+	ev.fn = nil
+	ev.pkt = Packet{}
+	ev.kind = evFn
+	ev.cancelled = false
+	ev.gen++
+	n.free = append(n.free, ev)
+}
+
+// push enqueues ev at absolute virtual time whenNs (ns since the epoch).
+func (n *Network) push(ev *event, whenNs int64) {
 	n.seq++
-	ev := &event{when: t, seq: n.seq, fn: fn}
+	ev.when = whenNs
+	ev.seq = n.seq
 	heap.Push(&n.queue, ev)
-	return ev
+}
+
+// getBuf hands out a pooled datagram buffer of the requested size.
+func (n *Network) getBuf(size int) []byte {
+	if k := len(n.bufs) - 1; k >= 0 {
+		b := n.bufs[k]
+		n.bufs[k] = nil
+		n.bufs = n.bufs[:k]
+		if cap(b) >= size {
+			return b[:size]
+		}
+	}
+	c := size
+	if c < 2048 {
+		c = 2048
+	}
+	return make([]byte, size, c)
+}
+
+// releaseBuf returns a pooled buffer for reuse.
+func (n *Network) releaseBuf(b []byte) {
+	n.bufs = append(n.bufs, b)
+}
+
+// setNow advances the virtual clock to ns nanoseconds past the epoch.
+func (n *Network) setNow(ns int64) {
+	n.nowNs = ns
+	n.now = n.start.Add(time.Duration(ns))
 }
 
 // Step executes the next pending event, if any, advancing virtual time to
@@ -348,13 +472,21 @@ func (n *Network) Step() bool {
 	for n.queue.Len() > 0 {
 		ev, _ := heap.Pop(&n.queue).(*event)
 		if ev.cancelled {
+			n.recycle(ev)
 			continue
 		}
-		if ev.when.After(n.now) {
-			n.now = ev.when
+		if ev.when > n.nowNs {
+			n.setNow(ev.when)
 		}
-		ev.fired = true
-		ev.fn()
+		switch ev.kind {
+		case evDeliver:
+			n.deliver(ev.pkt)
+		case evTransmit:
+			n.transmit(ev.pkt)
+		default:
+			ev.fn()
+		}
+		n.recycle(ev)
 		return true
 	}
 	return false
@@ -368,18 +500,19 @@ func (n *Network) Run(until time.Time) { n.runUntil(until) }
 // pending event at or before until, then advance the clock to until. It
 // returns the number of events executed.
 func (n *Network) runUntil(until time.Time) int {
+	untilNs := int64(until.Sub(n.start))
 	executed := 0
 	for {
-		when, ok := n.NextEventAt()
-		if !ok || when.After(until) {
+		whenNs, ok := n.nextEventNs()
+		if !ok || whenNs > untilNs {
 			break
 		}
 		if n.Step() {
 			executed++
 		}
 	}
-	if until.After(n.now) {
-		n.now = until
+	if untilNs > n.nowNs {
+		n.setNow(untilNs)
 	}
 	return executed
 }
@@ -391,15 +524,26 @@ func (n *Network) RunFor(d time.Duration) { n.Run(n.now.Add(d)) }
 // scheduled. ok is false when the queue is empty. Long-horizon drivers use
 // it to decide how far they can FastForward.
 func (n *Network) NextEventAt() (when time.Time, ok bool) {
+	ns, ok := n.nextEventNs()
+	if !ok {
+		return time.Time{}, false
+	}
+	return n.start.Add(time.Duration(ns)), true
+}
+
+// nextEventNs is NextEventAt in epoch-nanosecond form, discarding (and
+// recycling) cancelled events from the top of the heap.
+func (n *Network) nextEventNs() (whenNs int64, ok bool) {
 	for n.queue.Len() > 0 {
 		next := n.queue[0]
 		if next.cancelled {
-			heap.Pop(&n.queue)
+			ev, _ := heap.Pop(&n.queue).(*event)
+			n.recycle(ev)
 			continue
 		}
 		return next.when, true
 	}
-	return time.Time{}, false
+	return 0, false
 }
 
 // FastForward is the round-compression fast path for long-horizon
@@ -409,7 +553,9 @@ func (n *Network) NextEventAt() (when time.Time, ok bool) {
 // sync rounds — the hop is O(1): no per-interval ticking, no heap
 // traffic, so simulating a decade of idle wire time costs the same as
 // simulating a minute. internal/shiftsim leans on this to sustain
-// >100k simulated rounds per second.
+// >100k simulated rounds per second, and internal/fleet and core's
+// scenario sync loop use the returned event count to skip re-sampling
+// across provably idle windows.
 func (n *Network) FastForward(d time.Duration) int {
 	if d < 0 {
 		d = 0
@@ -436,13 +582,28 @@ type tapEntry struct {
 	tap Tap
 }
 
-// event is a queue entry.
+// event kinds: a plain callback, a packet delivery, or a deferred
+// transmit (Inject). Embedding the packet in the event removes the
+// per-packet closure the delivery path used to allocate.
+const (
+	evFn uint8 = iota
+	evDeliver
+	evTransmit
+)
+
+// event is a queue entry. when is nanoseconds since the network epoch —
+// a single int64 comparison in the heap's Less instead of time.Time
+// struct copies. gen is bumped on every recycle so a stale Timer cannot
+// cancel the slot's next occupant.
 type event struct {
-	when      time.Time
+	when      int64
 	seq       uint64
 	fn        func()
+	pkt       Packet
+	buf       []byte // pooled payload backing, released on recycle
+	kind      uint8
 	cancelled bool
-	fired     bool
+	gen       uint32
 	index     int
 }
 
@@ -451,10 +612,10 @@ type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].when.Equal(q[j].when) {
-		return q[i].seq < q[j].seq
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
 	}
-	return q[i].when.Before(q[j].when)
+	return q[i].seq < q[j].seq
 }
 func (q eventQueue) Swap(i, j int) {
 	q[i], q[j] = q[j], q[i]

@@ -21,16 +21,22 @@ var ErrBadUDP = errors.New("simnet: malformed udp datagram")
 // datagram checksum valid, so the simulation computes and verifies real
 // checksums rather than assuming integrity.
 func EncodeUDP(src, dst Addr, payload []byte) []byte {
-	n := UDPHeaderSize + len(payload)
-	b := make([]byte, n)
+	b := make([]byte, UDPHeaderSize+len(payload))
+	putUDP(b, src, dst, payload)
+	return b
+}
+
+// putUDP encodes the datagram into b, which must be exactly
+// UDPHeaderSize+len(payload) bytes. It is the allocation-free core of
+// EncodeUDP, used directly by the network's pooled-buffer send path.
+func putUDP(b []byte, src, dst Addr, payload []byte) {
 	binary.BigEndian.PutUint16(b[0:2], src.Port)
 	binary.BigEndian.PutUint16(b[2:4], dst.Port)
-	binary.BigEndian.PutUint16(b[4:6], uint16(n))
-	// checksum field zero while summing
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
+	b[6], b[7] = 0, 0 // checksum field zero while summing
 	copy(b[UDPHeaderSize:], payload)
 	sum := udpChecksum(src.IP, dst.IP, b)
 	binary.BigEndian.PutUint16(b[6:8], sum)
-	return b
 }
 
 // DecodeUDP parses and validates a UDP datagram delivered from srcIP to
@@ -44,14 +50,25 @@ func DecodeUDP(srcIP, dstIP IP, datagram []byte) (srcPort, dstPort uint16, paylo
 		return 0, 0, nil, ErrBadUDP
 	}
 	datagram = datagram[:length]
-	if got := binary.BigEndian.Uint16(datagram[6:8]); got != 0 {
-		// Verify: checksum over the datagram with the checksum field
-		// treated as transmitted must fold to zero... simpler: recompute
-		// with the field zeroed and compare.
-		cp := make([]byte, len(datagram))
-		copy(cp, datagram)
-		cp[6], cp[7] = 0, 0
-		if want := udpChecksum(srcIP, dstIP, cp); want != got {
+	if binary.BigEndian.Uint16(datagram[6:8]) != 0 {
+		// Verify in place: the ones-complement sum of pseudo-header plus
+		// datagram *including* the transmitted checksum field folds to
+		// 0xFFFF exactly when the checksum is valid. This is equivalent to
+		// recomputing over a zeroed-field copy and comparing — including
+		// the RFC 768 edge case where a computed zero is sent as all-ones —
+		// but needs no allocation.
+		var sum uint32
+		sum += uint32(srcIP[0])<<8 | uint32(srcIP[1])
+		sum += uint32(srcIP[2])<<8 | uint32(srcIP[3])
+		sum += uint32(dstIP[0])<<8 | uint32(dstIP[1])
+		sum += uint32(dstIP[2])<<8 | uint32(dstIP[3])
+		sum += ProtoUDP
+		sum += uint32(len(datagram))
+		sum += uint32(OnesComplementSum16(datagram))
+		for sum>>16 != 0 {
+			sum = sum&0xFFFF + sum>>16
+		}
+		if uint16(sum) != 0xFFFF {
 			return 0, 0, nil, ErrBadUDP
 		}
 	}
