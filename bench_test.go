@@ -3,8 +3,10 @@ package chronosntp_test
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"runtime"
+	"runtime/metrics"
 	"testing"
 	"time"
 
@@ -336,6 +338,7 @@ func BenchmarkFleetScale(b *testing.B) {
 			var subverted float64
 			var setup, steady time.Duration
 			b.ReportAllocs()
+			gc0, total0 := gcCPUSeconds()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -357,6 +360,90 @@ func BenchmarkFleetScale(b *testing.B) {
 			b.ReportMetric(float64(sz.clients)*float64(b.N)/steady.Seconds(), "clients/sec")
 			b.ReportMetric(setup.Seconds()*1e3/float64(b.N), "setup-ms/op")
 			b.ReportMetric(subverted, "subverted-fraction")
+			// Whole-op GC fraction (setup included: StopTimer pauses the
+			// benchmark clock, not the collector).
+			reportGCFrac(b, gc0, total0)
+		})
+	}
+}
+
+// gcCPUSeconds reads the runtime's cumulative GC CPU time and total CPU
+// time via runtime/metrics. The delta ratio across a benchmark region is
+// reported as gc-cpu-frac: the fraction of compute the collector ate,
+// the number the slab/calendar event engine exists to hold down.
+func gcCPUSeconds() (gc, total float64) {
+	samples := []metrics.Sample{
+		{Name: "/cpu/classes/gc/total:cpu-seconds"},
+		{Name: "/cpu/classes/total:cpu-seconds"},
+	}
+	metrics.Read(samples)
+	return samples[0].Value.Float64(), samples[1].Value.Float64()
+}
+
+// reportGCFrac reports the GC CPU fraction over the region since
+// gcCPUSeconds returned (gc0, total0).
+func reportGCFrac(b *testing.B, gc0, total0 float64) {
+	gc1, total1 := gcCPUSeconds()
+	if d := total1 - total0; d > 0 {
+		b.ReportMetric((gc1-gc0)/d, "gc-cpu-frac")
+	}
+}
+
+// BenchmarkEventQueue measures the simulator's raw schedule+dispatch
+// throughput — the op the calendar queue makes O(1) — over a standing
+// population of 10k pending timers spread across all three tiers
+// (dispatch wheel, overflow wheel, outer). Each iteration schedules and
+// drains a batch of 4096 timers with tier-mixed delays, so the metric
+// covers bucket insert, wheel rotation, L1→L0 migration, and slab
+// recycling. The legacy-heap sub-benchmark is the A/B contrast: the
+// same traffic through the container/heap engine the calendar replaced.
+func BenchmarkEventQueue(b *testing.B) {
+	engines := []struct {
+		name   string
+		legacy bool
+	}{
+		{"calendar", false},
+		{"heap", true},
+	}
+	for _, engine := range engines {
+		b.Run(engine.name, func(b *testing.B) {
+			n := simnet.New(simnet.Config{Seed: 1, LegacyHeap: engine.legacy})
+			rng := rand.New(rand.NewSource(7))
+			fired := 0
+			fn := func() { fired++ }
+			delay := func() time.Duration {
+				switch rng.Intn(8) {
+				case 0, 1, 2: // same L0 window
+					return time.Duration(rng.Int63n(int64(2 * time.Millisecond)))
+				case 3, 4, 5: // L1 overflow wheel
+					return time.Duration(rng.Int63n(int64(3 * time.Second)))
+				default: // deep L1 / outer tier
+					return time.Duration(rng.Int63n(int64(4 * time.Hour)))
+				}
+			}
+			// Standing population keeps every tier non-empty so dispatch
+			// pays migration and sweep costs, not just empty-wheel spins.
+			for i := 0; i < 10_000; i++ {
+				n.After(delay(), fn)
+			}
+			const batch = 4096
+			b.ReportAllocs()
+			gc0, total0 := gcCPUSeconds()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					n.After(delay(), fn)
+				}
+				n.RunFor(5 * time.Second)
+			}
+			elapsed := time.Since(start)
+			b.StopTimer()
+			reportGCFrac(b, gc0, total0)
+			b.ReportMetric(float64(b.N*batch)/elapsed.Seconds(), "events/sec")
+			if fired == 0 {
+				b.Fatal("no events dispatched; the loop under test is vacuous")
+			}
 		})
 	}
 }

@@ -129,12 +129,19 @@ type Stats struct {
 	IncompleteRound uint64 // rounds aborted for lack of replies
 }
 
-// PoolEntry records one pool member and how it got there.
+// PoolEntry records one pool member and how it got there. AddedAt is
+// virtual time as Unix nanoseconds rather than a time.Time: a time.Time
+// drags a *Location pointer into every entry, and at fleet scale the
+// pool slices of ~100k live clients are exactly what the GC would then
+// have to scan. A pointer-free PoolEntry keeps them in noscan spans.
 type PoolEntry struct {
 	IP       simnet.IP
-	AddedAt  time.Time
-	QueryIdx int // which pool-generation query produced it (1-based)
+	AddedAt  int64 // virtual time the entry joined, Unix ns
+	QueryIdx int   // which pool-generation query produced it (1-based)
 }
+
+// AddedTime returns the entry's join time as a time.Time.
+func (e PoolEntry) AddedTime() time.Time { return time.Unix(0, e.AddedAt) }
 
 // Lookuper is the client's DNS dependency (an alias of the shared
 // dnsresolver.Lookuper): *dnsresolver.Stub satisfies it over the wire, a
@@ -162,6 +169,7 @@ type Client struct {
 	timer   simnet.Timer
 	round   *Round
 	stats   Stats
+	wireBuf []byte // NTP request encode scratch, reused across samples
 
 	// Method values handed to the event queue, bound once at construction
 	// so the per-client scheduling steady state allocates no closures.
@@ -226,8 +234,24 @@ func ipKey(ip simnet.IP) uint32 {
 // instead of a linear struct scan or a side map (two allocations per
 // client).
 func (c *Client) poolHas(ip simnet.IP) bool {
-	_, found := slices.BinarySearch(c.poolIPs, ipKey(ip))
-	return found
+	i := searchIPs(c.poolIPs, ipKey(ip))
+	return i < len(c.poolIPs) && c.poolIPs[i] == ipKey(ip)
+}
+
+// searchIPs is slices.BinarySearch specialized to the IP index: the
+// generic shape-dictionary dispatch showed up at fleet scale, and a
+// concrete uint32 loop compiles to branch-free probes.
+func searchIPs(s []uint32, k uint32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // poolReserve grows the pool and its index to hold at least n entries in
@@ -257,7 +281,7 @@ func (c *Client) poolReserve(n int) {
 func (c *Client) poolAdd(e PoolEntry) {
 	c.pool = append(c.pool, e)
 	k := ipKey(e.IP)
-	i, _ := slices.BinarySearch(c.poolIPs, k)
+	i := searchIPs(c.poolIPs, k)
 	c.poolIPs = append(c.poolIPs, 0)
 	copy(c.poolIPs[i+1:], c.poolIPs[i:])
 	c.poolIPs[i] = k
@@ -320,26 +344,35 @@ func (c *Client) absorbPoolResponse(idx int, res dnsresolver.Result) {
 	if res.Err != nil {
 		return
 	}
-	now := c.host.Net().Now()
-	count := 0
-	for _, rr := range res.RRs {
-		if rr.Type != dnswire.TypeA {
-			continue
+	now := c.host.Net().NowUnixNano()
+	// count is how many A records the response can still contribute; when
+	// no response policy is armed we skip the validation pre-pass and use
+	// the (never smaller) RR total, which only loosens the reservation
+	// estimate below.
+	count := len(res.RRs)
+	if c.cfg.Policy.MaxTTL > 0 || c.cfg.Policy.MaxAddrsPerResponse > 0 {
+		count = 0
+		for i := range res.RRs {
+			rr := &res.RRs[i]
+			if rr.Type != dnswire.TypeA {
+				continue
+			}
+			count++
+			if c.cfg.Policy.MaxTTL > 0 && time.Duration(rr.TTL)*time.Second > c.cfg.Policy.MaxTTL {
+				c.stats.PolicyDiscards++
+				return // discard the whole response: it is suspicious
+			}
 		}
-		count++
-		if c.cfg.Policy.MaxTTL > 0 && time.Duration(rr.TTL)*time.Second > c.cfg.Policy.MaxTTL {
+		if c.cfg.Policy.MaxAddrsPerResponse > 0 && count > c.cfg.Policy.MaxAddrsPerResponse {
 			c.stats.PolicyDiscards++
-			return // discard the whole response: it is suspicious
+			return
 		}
-	}
-	if c.cfg.Policy.MaxAddrsPerResponse > 0 && count > c.cfg.Policy.MaxAddrsPerResponse {
-		c.stats.PolicyDiscards++
-		return
 	}
 	c.stats.PoolResponses++
 	target := c.cfg.PoolTarget
 	seen := 0
-	for _, rr := range res.RRs {
+	for i := range res.RRs {
+		rr := &res.RRs[i]
 		if rr.Type != dnswire.TypeA {
 			continue
 		}
@@ -400,7 +433,7 @@ func (c *Client) SeedPool(ips []simnet.IP) error {
 	if len(ips) == 0 {
 		return ErrPoolEmpty
 	}
-	now := c.host.Net().Now()
+	now := c.host.Net().NowUnixNano()
 	c.poolReserve(len(ips))
 	for _, ip := range ips {
 		if c.poolHas(ip) {
@@ -480,8 +513,9 @@ func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
 		if answered || meta.From != addr {
 			return
 		}
-		resp, err := ntpwire.Decode(payload)
-		if err != nil || !ntpwire.ValidServerResponse(resp, ntpwire.TimestampFromTime(t1)) {
+		var resp ntpwire.Packet
+		if err := ntpwire.DecodeInto(&resp, payload); err != nil ||
+			!ntpwire.ValidServerResponse(&resp, ntpwire.TimestampFromTime(t1)) {
 			return
 		}
 		answered = true
@@ -498,8 +532,12 @@ func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
 		cb(0, false)
 		return
 	}
-	req := ntpwire.NewClientPacket(t1)
-	_ = c.host.SendUDP(port, addr, req.Encode())
+	var req ntpwire.Packet
+	ntpwire.FillClientPacket(&req, t1)
+	// SendUDP copies the payload into a pooled buffer, so one request
+	// scratch per client serves every sample without allocating.
+	c.wireBuf = req.AppendEncode(c.wireBuf[:0])
+	_ = c.host.SendUDP(port, addr, c.wireBuf)
 	timeout = net.After(c.cfg.QueryTimeout, func() {
 		if !answered {
 			c.host.Close(port)

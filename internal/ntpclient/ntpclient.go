@@ -122,6 +122,7 @@ type Client struct {
 	// timers without allocating closures.
 	pollFn    func()
 	processFn func()
+	wireBuf   []byte // request encode scratch, reused across polls
 }
 
 // New builds a client. stub is any dnsresolver.Lookuper — the UDP
@@ -248,8 +249,12 @@ func (c *Client) sendRequest(a *association) {
 	a.sentT1 = c.clk.Now(now)
 	a.pending = true
 	a.reach <<= 1
-	req := ntpwire.NewClientPacket(a.sentT1)
-	_ = c.host.SendUDP(a.port, a.addr, req.Encode())
+	var req ntpwire.Packet
+	ntpwire.FillClientPacket(&req, a.sentT1)
+	// SendUDP copies the payload into a pooled buffer, so one request
+	// scratch per client serves every poll without allocating.
+	c.wireBuf = req.AppendEncode(c.wireBuf[:0])
+	_ = c.host.SendUDP(a.port, a.addr, c.wireBuf)
 }
 
 // responseHandler validates and files one server response.

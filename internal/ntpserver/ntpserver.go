@@ -94,6 +94,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	host      *simnet.Host
 	responder *Responder
+	wireBuf   []byte // reply encode scratch, reused across requests
 }
 
 // New binds a server to host.
@@ -129,7 +130,10 @@ func (s *Server) handle(now time.Time, meta simnet.Meta, payload []byte) {
 	if !s.responder.Respond(&resp, now, &req, meta.From) {
 		return
 	}
-	_ = s.host.SendUDP(ntpwire.Port, meta.From, resp.Encode())
+	// SendUDP copies the payload into a pooled buffer, so one reply
+	// scratch per server serves every response without allocating.
+	s.wireBuf = resp.AppendEncode(s.wireBuf[:0])
+	_ = s.host.SendUDP(ntpwire.Port, meta.From, s.wireBuf)
 }
 
 // Farm creates count NTP servers on consecutive addresses starting at

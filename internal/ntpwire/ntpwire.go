@@ -205,7 +205,16 @@ func ValidServerResponse(p *Packet, t1 Timestamp) bool {
 // NewClientPacket builds a mode-3 request with TransmitTime = t1 (the
 // client's clock reading at transmission).
 func NewClientPacket(t1 time.Time) *Packet {
-	return &Packet{
+	p := &Packet{}
+	FillClientPacket(p, t1)
+	return p
+}
+
+// FillClientPacket writes a mode-3 request into p, which may live on the
+// caller's stack — the allocation-free form of NewClientPacket for poll
+// loops that send millions of requests.
+func FillClientPacket(p *Packet, t1 time.Time) {
+	*p = Packet{
 		Leap:         LeapUnsync,
 		Version:      Version,
 		Mode:         ModeClient,

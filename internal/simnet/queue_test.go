@@ -1,0 +1,250 @@
+package simnet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomDelay draws scheduling offsets spanning every tier of the
+// calendar: zero (same-instant seq ordering), sub-bucket, within the L0
+// window, within the L1 horizon, and beyond it into the outer tier.
+func randomDelay(rng *rand.Rand) time.Duration {
+	switch rng.Intn(10) {
+	case 0:
+		return 0
+	case 1, 2, 3:
+		return time.Duration(rng.Int63n(int64(2 * time.Millisecond)))
+	case 4, 5, 6:
+		return time.Duration(rng.Int63n(int64(3 * time.Second)))
+	case 7, 8:
+		return time.Duration(rng.Int63n(int64(3 * time.Hour)))
+	default:
+		return time.Duration(rng.Int63n(int64(300 * time.Hour)))
+	}
+}
+
+// TestCalendarHeapEquivalence is the queue's ground truth: a million
+// randomized schedule/cancel/advance/peek operations driven through the
+// calendar queue and the legacy binary heap in lockstep must produce the
+// same cancel outcomes, the same NextEventAt answers, the same per-window
+// executed-event counts, and — above all — the identical dispatch order.
+// The (when, seq) total order is the contract every golden, conformance,
+// and determinism test in the repo stands on.
+func TestCalendarHeapEquivalence(t *testing.T) {
+	ops := 1_000_000
+	if testing.Short() {
+		ops = 100_000
+	}
+	calNet := New(Config{Seed: 42})
+	heapNet := New(Config{Seed: 42, LegacyHeap: true})
+
+	var calLog, heapLog []int32
+	type pair struct{ cal, heap Timer }
+	var timers []pair
+	rng := rand.New(rand.NewSource(99)) // op script, shared by both engines
+	var nextID int32
+
+	for op := 0; op < ops; op++ {
+		switch r := rng.Intn(100); {
+		case r < 45: // schedule
+			d := randomDelay(rng)
+			id := nextID
+			nextID++
+			tc := calNet.After(d, func() { calLog = append(calLog, id) })
+			th := heapNet.After(d, func() { heapLog = append(heapLog, id) })
+			timers = append(timers, pair{cal: tc, heap: th})
+		case r < 65: // cancel a random (possibly stale) timer
+			if len(timers) == 0 {
+				continue
+			}
+			j := rng.Intn(len(timers))
+			p := timers[j]
+			timers[j] = timers[len(timers)-1]
+			timers = timers[:len(timers)-1]
+			c1, c2 := p.cal.Cancel(), p.heap.Cancel()
+			if c1 != c2 {
+				t.Fatalf("op %d: cancel diverges: calendar %v, heap %v", op, c1, c2)
+			}
+		case r < 90: // advance
+			d := randomDelay(rng) / 3
+			e1 := calNet.FastForward(d)
+			e2 := heapNet.FastForward(d)
+			if e1 != e2 {
+				t.Fatalf("op %d: FastForward(%v) executed %d vs %d events", op, d, e1, e2)
+			}
+			if !calNet.Now().Equal(heapNet.Now()) {
+				t.Fatalf("op %d: clocks diverge: %v vs %v", op, calNet.Now(), heapNet.Now())
+			}
+		default: // peek
+			w1, ok1 := calNet.NextEventAt()
+			w2, ok2 := heapNet.NextEventAt()
+			if ok1 != ok2 || (ok1 && !w1.Equal(w2)) {
+				t.Fatalf("op %d: NextEventAt diverges: (%v,%v) vs (%v,%v)", op, w1, ok1, w2, ok2)
+			}
+		}
+	}
+	// Drain everything still pending, including far-future outer-tier
+	// events, and compare the complete dispatch histories.
+	for calNet.Step() {
+	}
+	for heapNet.Step() {
+	}
+	if len(calLog) != len(heapLog) {
+		t.Fatalf("dispatch count diverges: calendar %d, heap %d", len(calLog), len(heapLog))
+	}
+	for i := range calLog {
+		if calLog[i] != heapLog[i] {
+			t.Fatalf("dispatch order diverges at %d: calendar ran %d, heap ran %d", i, calLog[i], heapLog[i])
+		}
+	}
+	if len(calLog) == 0 || len(timers) == len(calLog) {
+		t.Fatalf("degenerate run: %d dispatches", len(calLog))
+	}
+}
+
+// TestPacketPathCalendarHeapBitIdentical drives identical seeded traffic
+// — jittered latency, loss, mixed fragmented/unfragmented datagrams —
+// through a calendar-queue network and a legacy-heap network. The wire
+// behaviour (delivery order, payloads, timestamps, counters) must be
+// bit-identical: the queue swap may not perturb anything observable.
+func TestPacketPathCalendarHeapBitIdentical(t *testing.T) {
+	type outcome struct {
+		payloads  [][]byte
+		times     []time.Time
+		delivered uint64
+		dropped   uint64
+	}
+	drive := func(legacy bool) outcome {
+		n := New(Config{
+			Seed:       17,
+			LegacyHeap: legacy,
+			Loss:       func(src, dst IP, rng *rand.Rand) bool { return rng.Intn(8) == 0 },
+		})
+		a, err := n.AddHost(ipA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := n.AddHost(ipB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out outcome
+		if err := b.Listen(123, func(now time.Time, meta Meta, payload []byte) {
+			out.payloads = append(out.payloads, append([]byte(nil), payload...))
+			out.times = append(out.times, now)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			size := 16 + (i%3)*1000 // 2016 fragments; 16/1016 ride the pooled path
+			payload := bytes.Repeat([]byte{byte(i)}, size)
+			if err := a.SendUDP(5000, Addr{IP: ipB, Port: 123}, payload); err != nil {
+				t.Fatal(err)
+			}
+			n.RunFor(75 * time.Millisecond)
+		}
+		n.RunFor(time.Second)
+		out.delivered, out.dropped = n.Delivered(), n.Dropped()
+		return out
+	}
+	cal := drive(false)
+	leg := drive(true)
+	if cal.delivered != leg.delivered || cal.dropped != leg.dropped {
+		t.Fatalf("counters diverge: calendar %d/%d, heap %d/%d",
+			cal.delivered, cal.dropped, leg.delivered, leg.dropped)
+	}
+	if len(cal.payloads) != len(leg.payloads) {
+		t.Fatalf("delivery count diverges: %d vs %d", len(cal.payloads), len(leg.payloads))
+	}
+	for i := range cal.payloads {
+		if !bytes.Equal(cal.payloads[i], leg.payloads[i]) {
+			t.Fatalf("payload %d diverges between calendar and heap", i)
+		}
+		if !cal.times[i].Equal(leg.times[i]) {
+			t.Fatalf("delivery time %d diverges: %v vs %v", i, cal.times[i], leg.times[i])
+		}
+	}
+	if cal.delivered == 0 || cal.dropped == 0 {
+		t.Fatalf("traffic mix degenerate (delivered=%d dropped=%d)", cal.delivered, cal.dropped)
+	}
+}
+
+// TestMassCancellationSweptOnce pins the tombstone contract from the
+// cancelled-event rework: cancelling is O(1) (no queue surgery), and
+// every dead event is visited exactly once by a sweep — dispatch after a
+// mass cancellation (the timeout-heavy fleet pattern that degraded the
+// old heap to O(dead·log n) eager pops) does O(dead) total work, not
+// O(dead) per surviving pop.
+func TestMassCancellationSweptOnce(t *testing.T) {
+	const total = 50_000
+	n := New(Config{Seed: 7})
+	fired := 0
+	timers := make([]Timer, 0, total)
+	// Spread timers across all three tiers: microseconds to hundreds of
+	// hours out.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < total; i++ {
+		timers = append(timers, n.After(randomDelay(rng)+time.Microsecond, func() { fired++ }))
+	}
+	// Cancel all but every 100th timer.
+	cancelled := 0
+	for i, tm := range timers {
+		if i%100 == 0 {
+			continue
+		}
+		if !tm.Cancel() {
+			t.Fatalf("timer %d: cancel failed before dispatch", i)
+		}
+		cancelled++
+	}
+	if got := n.sweptTombstones(); got != 0 {
+		t.Fatalf("cancellation itself swept %d events; want lazy tombstones (0)", got)
+	}
+	// Survivors must still dispatch — in order — and draining the queue
+	// must reclaim each tombstone exactly once.
+	last := n.Now()
+	for n.Step() {
+		if n.Now().Before(last) {
+			t.Fatal("virtual time moved backwards during sweep")
+		}
+		last = n.Now()
+	}
+	if want := total - cancelled; fired != want {
+		t.Fatalf("fired %d survivors, want %d", fired, want)
+	}
+	if got := n.sweptTombstones(); got != uint64(cancelled) {
+		t.Fatalf("swept %d tombstones over the drain, want exactly %d (each dead event visited once)",
+			got, cancelled)
+	}
+}
+
+// TestEventQueueSteadyStateAllocFree pins schedule+dispatch to zero
+// allocations once the slab, free-list, and bucket spare pool are warm —
+// the property that keeps fleet-scale GC pressure flat as the wheels
+// rotate through fresh time windows.
+func TestEventQueueSteadyStateAllocFree(t *testing.T) {
+	n := New(Config{Seed: 9})
+	fired := 0
+	fn := func() { fired++ }
+	cycle := func() {
+		for i := 0; i < 64; i++ {
+			n.After(time.Duration(i)*137*time.Microsecond, fn)
+		}
+		n.RunFor(50 * time.Millisecond)
+	}
+	for i := 0; i < 64; i++ {
+		cycle() // warm slab, free-list, and bucket spares
+	}
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("steady-state schedule+dispatch allocates %.1f objects/op, want 0", allocs)
+	}
+	if fired == 0 {
+		t.Fatal("no events fired; the cycle under test is vacuous")
+	}
+}
+
+// sweptTombstones reports how many cancelled events the calendar's lazy
+// sweeps have reclaimed so far (test hook).
+func (n *Network) sweptTombstones() uint64 { return n.cal.swept }

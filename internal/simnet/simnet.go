@@ -17,18 +17,21 @@
 //  3. Simplicity elsewhere: no routing tables (full mesh), no TCP, no ICMP
 //     beyond silent drops.
 //
-// The hot paths are allocation-free in steady state: events live on a
-// free-list (recycled with a generation counter so stale Timer handles
-// cannot cancel a reused slot), packet delivery embeds the Packet in the
-// event instead of a closure, event times are int64 nanoseconds since the
-// network epoch, and unfragmented datagram buffers come from a per-network
-// pool that reclaims them the moment the receiving handler returns.
-// Handlers therefore only borrow their payload: a handler that needs the
-// bytes beyond its own invocation must copy them.
+// The hot paths are allocation-free in steady state: events live in a
+// slab — one growable []event arena addressed by generation-counted int32
+// handles, so the GC scans a single pointer-dense object instead of one
+// per in-flight event and a stale Timer handle cannot cancel a reused
+// slot — scheduled in a two-level calendar queue keyed by int64-ns
+// virtual time (see queue.go; O(1) amortized schedule and dispatch,
+// cancelled events left as lazily swept tombstones). Packet delivery
+// embeds the Packet in the event instead of a closure, and unfragmented
+// datagram buffers come from a per-network pool that reclaims them the
+// moment the receiving handler returns. Handlers therefore only borrow
+// their payload: a handler that needs the bytes beyond its own
+// invocation must copy them.
 package simnet
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -81,26 +84,34 @@ type Config struct {
 	Latency LatencyFn // nil means 2ms + U[0,3ms) jitter
 	Loss    LossFn    // nil means lossless
 	MTU     MTUFn     // nil means DefaultMTU everywhere
+
+	// LegacyHeap selects the pre-calendar binary-heap scheduler. Event
+	// order is identical either way; the shim exists so equivalence and
+	// determinism tests can run both engines in one binary.
+	LegacyHeap bool
 }
 
 // Network is the simulated internet. All methods must be called from the
 // event-loop thread (handlers and timer callbacks already are).
 type Network struct {
-	start   time.Time // virtual-time epoch; event times are ns since it
-	now     time.Time
-	nowNs   int64
-	queue   eventQueue
-	seq     uint64
-	free    []*event // event free-list (generation-counted)
-	bufs    [][]byte // pooled datagram buffers for the unfragmented path
-	rng     *rand.Rand
-	hosts   map[IP]*Host
-	taps    []tapEntry
-	tapSeq  uint64
-	latency LatencyFn
-	loss    LossFn
-	mtu     MTUFn
-	mtuOvr  map[[2]IP]int
+	start     time.Time // virtual-time epoch; event times are ns since it
+	startUnix int64     // start.UnixNano(), cached for NowUnixNano
+	now       time.Time
+	nowNs     int64
+	seq       uint64
+	events    []event  // slab: all events live here, addressed by handle
+	free      []int32  // free slab slots (slots are generation-counted)
+	cal       calendar // two-level wheel + overflow tier (see queue.go)
+	heap      *qheap   // non-nil ⇒ Config.LegacyHeap scheduler
+	bufs      [][]byte // pooled datagram buffers for the unfragmented path
+	rng       *rand.Rand
+	hosts     map[IP]*Host
+	taps      []tapEntry
+	tapSeq    uint64
+	latency   LatencyFn
+	loss      LossFn
+	mtu       MTUFn
+	mtuOvr    map[[2]IP]int
 
 	delivered uint64 // datagrams handed to handlers
 	dropped   uint64 // packets lost, tapped away, or undeliverable
@@ -130,16 +141,21 @@ func New(cfg Config) *Network {
 	if mtu == nil {
 		mtu = func(src, dst IP) int { return DefaultMTU }
 	}
-	return &Network{
-		start:   start,
-		now:     start,
-		rng:     rand.New(rand.NewSource(seed)),
-		hosts:   make(map[IP]*Host),
-		latency: lat,
-		loss:    loss,
-		mtu:     mtu,
-		mtuOvr:  make(map[[2]IP]int),
+	n := &Network{
+		start:     start,
+		startUnix: start.UnixNano(),
+		now:       start,
+		rng:       rand.New(rand.NewSource(seed)),
+		hosts:     make(map[IP]*Host),
+		latency:   lat,
+		loss:      loss,
+		mtu:       mtu,
+		mtuOvr:    make(map[[2]IP]int),
 	}
+	if cfg.LegacyHeap {
+		n.heap = &qheap{}
+	}
+	return n
 }
 
 // SetPathMTU overrides the MTU for the directed path src→dst. This models
@@ -164,6 +180,11 @@ func (n *Network) PathMTU(src, dst IP) int {
 
 // Now returns the current virtual time.
 func (n *Network) Now() time.Time { return n.now }
+
+// NowUnixNano returns Now().UnixNano() without materializing a time.Time
+// — the hot representation for code that timestamps per-packet state at
+// fleet scale.
+func (n *Network) NowUnixNano() int64 { return n.startUnix + n.nowNs }
 
 // Rand returns the network's seeded RNG. Services use it so that a single
 // seed reproduces the entire run.
@@ -286,10 +307,11 @@ func (n *Network) Inject(pkt Packet, delay time.Duration) {
 	if delay < 0 {
 		delay = 0
 	}
-	ev := n.allocEvent()
+	h := n.allocEvent()
+	ev := &n.events[h]
 	ev.kind = evTransmit
 	ev.pkt = pkt
-	n.push(ev, n.nowNs+int64(delay))
+	n.pushEvent(h, n.nowNs+int64(delay))
 }
 
 // transmit runs taps, loss, and schedules delivery.
@@ -330,11 +352,12 @@ func (n *Network) schedule(p Packet, buf []byte) {
 		}
 		return
 	}
-	ev := n.allocEvent()
+	h := n.allocEvent()
+	ev := &n.events[h]
 	ev.kind = evDeliver
 	ev.pkt = p
 	ev.buf = buf
-	n.push(ev, n.nowNs+int64(n.latency(p.Src, p.Dst, n.rng)))
+	n.pushEvent(h, n.nowNs+int64(n.latency(p.Src, p.Dst, n.rng)))
 }
 
 // deliver hands a packet to its destination host: reassembly, UDP
@@ -374,19 +397,29 @@ func (n *Network) deliver(pkt Packet) {
 // Timer is a cancellable scheduled callback, valid by value. The zero
 // Timer is inert: Cancel on it reports false.
 type Timer struct {
-	ev  *event
+	net *Network
+	idx int32
 	gen uint32
 }
 
 // Cancel prevents the timer from firing if it has not fired yet. It
 // reports whether the cancellation was effective. A Timer whose event has
-// already fired (and whose slot may have been recycled for a later event)
-// safely reports false.
+// already fired (and whose slab slot may have been recycled for a later
+// event) safely reports false. Cancellation is a tombstone: the event
+// stays queued and its slot is reclaimed when a sweep reaches it, so
+// cancelling is O(1) no matter how many dead events pile up.
 func (t Timer) Cancel() bool {
-	if t.ev == nil || t.ev.gen != t.gen || t.ev.cancelled {
+	if t.net == nil {
 		return false
 	}
-	t.ev.cancelled = true
+	ev := &t.net.events[t.idx]
+	if ev.gen != t.gen || ev.cancelled {
+		return false
+	}
+	ev.cancelled = true
+	if c := &t.net.cal; c.peekValid && c.peekItem.h == t.idx {
+		c.peekValid = false // the cached minimum just became a tombstone
+	}
 	return true
 }
 
@@ -397,45 +430,12 @@ func (n *Network) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	ev := n.allocEvent()
+	h := n.allocEvent()
+	ev := &n.events[h]
 	ev.fn = fn
-	n.push(ev, n.nowNs+int64(d))
-	return Timer{ev: ev, gen: ev.gen}
-}
-
-// allocEvent pops a recycled event or allocates a fresh one.
-func (n *Network) allocEvent() *event {
-	if k := len(n.free) - 1; k >= 0 {
-		ev := n.free[k]
-		n.free[k] = nil
-		n.free = n.free[:k]
-		return ev
-	}
-	return &event{}
-}
-
-// recycle returns a popped event to the free-list, releasing any pooled
-// payload buffer it carried and bumping the generation so outstanding
-// Timer handles go inert.
-func (n *Network) recycle(ev *event) {
-	if ev.buf != nil {
-		n.releaseBuf(ev.buf)
-		ev.buf = nil
-	}
-	ev.fn = nil
-	ev.pkt = Packet{}
-	ev.kind = evFn
-	ev.cancelled = false
-	ev.gen++
-	n.free = append(n.free, ev)
-}
-
-// push enqueues ev at absolute virtual time whenNs (ns since the epoch).
-func (n *Network) push(ev *event, whenNs int64) {
-	n.seq++
-	ev.when = whenNs
-	ev.seq = n.seq
-	heap.Push(&n.queue, ev)
+	gen := ev.gen
+	n.pushEvent(h, n.nowNs+int64(d))
+	return Timer{net: n, idx: h, gen: gen}
 }
 
 // getBuf hands out a pooled datagram buffer of the requested size.
@@ -469,27 +469,32 @@ func (n *Network) setNow(ns int64) {
 // Step executes the next pending event, if any, advancing virtual time to
 // it. It reports whether an event was executed.
 func (n *Network) Step() bool {
-	for n.queue.Len() > 0 {
-		ev, _ := heap.Pop(&n.queue).(*event)
-		if ev.cancelled {
-			n.recycle(ev)
-			continue
-		}
-		if ev.when > n.nowNs {
-			n.setNow(ev.when)
-		}
-		switch ev.kind {
-		case evDeliver:
-			n.deliver(ev.pkt)
-		case evTransmit:
-			n.transmit(ev.pkt)
-		default:
-			ev.fn()
-		}
-		n.recycle(ev)
-		return true
+	var h int32
+	if n.heap != nil {
+		h = n.heapPop()
+	} else {
+		h = n.popMin()
 	}
-	return false
+	if h < 0 {
+		return false
+	}
+	// Copy the fields out before dispatch: the handler may schedule,
+	// growing the slab and invalidating the &n.events[h] pointer.
+	ev := &n.events[h]
+	if ev.when > n.nowNs {
+		n.setNow(ev.when)
+	}
+	kind, fn, pkt := ev.kind, ev.fn, ev.pkt
+	switch kind {
+	case evDeliver:
+		n.deliver(pkt)
+	case evTransmit:
+		n.transmit(pkt)
+	default:
+		fn()
+	}
+	n.recycleEvent(h)
+	return true
 }
 
 // Run executes all events up to and including those at time until, then
@@ -531,19 +536,17 @@ func (n *Network) NextEventAt() (when time.Time, ok bool) {
 	return n.start.Add(time.Duration(ns)), true
 }
 
-// nextEventNs is NextEventAt in epoch-nanosecond form, discarding (and
-// recycling) cancelled events from the top of the heap.
+// nextEventNs is NextEventAt in epoch-nanosecond form. It sweeps (and
+// recycles) tombstoned events it encounters but never advances the wheel
+// position — peeking is free of side effects on ordering.
 func (n *Network) nextEventNs() (whenNs int64, ok bool) {
-	for n.queue.Len() > 0 {
-		next := n.queue[0]
-		if next.cancelled {
-			ev, _ := heap.Pop(&n.queue).(*event)
-			n.recycle(ev)
-			continue
-		}
-		return next.when, true
+	var it qitem
+	if n.heap != nil {
+		it, ok = n.heapPeek()
+	} else {
+		it, ok = n.peekMin()
 	}
-	return 0, false
+	return it.when, ok
 }
 
 // FastForward is the round-compression fast path for long-horizon
@@ -591,10 +594,10 @@ const (
 	evTransmit
 )
 
-// event is a queue entry. when is nanoseconds since the network epoch —
-// a single int64 comparison in the heap's Less instead of time.Time
-// struct copies. gen is bumped on every recycle so a stale Timer cannot
-// cancel the slot's next occupant.
+// event is a slab slot. when is nanoseconds since the network epoch — a
+// single int64 comparison orders the queue instead of time.Time struct
+// copies. gen is bumped on every recycle so a stale Timer cannot cancel
+// the slot's next occupant; cancelled marks a tombstone awaiting sweep.
 type event struct {
 	when      int64
 	seq       uint64
@@ -604,34 +607,4 @@ type event struct {
 	kind      uint8
 	cancelled bool
 	gen       uint32
-	index     int
-}
-
-// eventQueue is a min-heap ordered by (when, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev, _ := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
 }
