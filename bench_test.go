@@ -17,6 +17,8 @@ import (
 	"chronosntp/internal/eval"
 	"chronosntp/internal/fleet"
 	"chronosntp/internal/mitigation"
+	"chronosntp/internal/ntpauth"
+	"chronosntp/internal/ntpserver"
 	"chronosntp/internal/ntpwire"
 	"chronosntp/internal/runner"
 	"chronosntp/internal/shiftsim"
@@ -593,6 +595,102 @@ func BenchmarkWireServe(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(b.N*batch)/elapsed.Seconds(), "requests/sec")
 	b.ReportMetric(50_000, "target-requests/sec")
+	if got, want := srv.Served(), uint64(b.N*batch); got < want {
+		b.Fatalf("served %d of %d requests", got, want)
+	}
+}
+
+// BenchmarkAuthVerify measures the MAC-authenticated serve path end to
+// end over loopback: every request carries a SHA-256 trailer the server
+// must verify, every reply is sealed and verified again client-side.
+// Same pipelined shape as BenchmarkWireServe, so the requests/sec gap
+// between the two is the price of symmetric authentication. The
+// acceptance bar is 0 allocs/op — the verify/seal path reuses the
+// policy's hash scratch, and cmd/benchdiff hard-fails the first
+// allocation that creeps in.
+func BenchmarkAuthVerify(b *testing.B) {
+	key := ntpauth.Key{ID: 9, Algo: ntpauth.AlgoSHA256, Secret: []byte("bench-auth-secret")}
+	tbl, err := ntpauth.NewKeyTable(key)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkAuth := func() *ntpauth.ServerAuth {
+		return &ntpauth.ServerAuth{Keys: tbl, Require: true}
+	}
+	srv, err := wirenet.Serve(wirenet.ServerConfig{
+		Responder: ntpserver.NewResponder(ntpserver.Config{Auth: mkAuth()}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.DialUDP("udp4", nil, net.UDPAddrFromAddrPort(srv.AddrPort()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+
+	const batch = 2048 // requests per benchmark iteration
+	const window = 64  // in-flight requests
+	t1 := time.Unix(1591000000, 0)
+	t1ts := ntpwire.TimestampFromTime(t1)
+	raw := ntpwire.NewClientPacket(t1).Encode()
+	wire, ok := ntpauth.NewMACer(tbl).AppendMAC(raw, key.ID, raw)
+	if !ok {
+		b.Fatal("AppendMAC failed")
+	}
+	ca := &ntpauth.ClientAuth{Key: key, Require: true}
+	var resp ntpwire.Packet
+	var respBuf [1024]byte
+	if err := conn.SetReadDeadline(time.Now().Add(time.Minute)); err != nil {
+		b.Fatal(err)
+	}
+	readOne := func() {
+		n, err := conn.Read(respBuf[:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ntpwire.DecodeInto(&resp, respBuf[:n]); err != nil {
+			b.Fatal(err)
+		}
+		if !ntpwire.ValidServerResponse(&resp, t1ts) {
+			b.Fatalf("invalid reply: %+v", resp)
+		}
+		if authed, acceptable := ca.VerifyResponse(respBuf[:n]); !authed || !acceptable {
+			b.Fatalf("reply MAC rejected (authed=%v acceptable=%v)", authed, acceptable)
+		}
+	}
+
+	// Absorb first-use lazy allocations (socket poller, the policy's MAC
+	// scratch on both ends) outside the measured region.
+	if _, err := conn.Write(wire); err != nil {
+		b.Fatal(err)
+	}
+	readOne()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		sent, inflight := 0, 0
+		for sent < batch {
+			for inflight < window && sent < batch {
+				if _, err := conn.Write(wire); err != nil {
+					b.Fatal(err)
+				}
+				inflight++
+				sent++
+			}
+			readOne()
+			inflight--
+		}
+		for ; inflight > 0; inflight-- {
+			readOne()
+		}
+	}
+	elapsed := time.Since(start)
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/elapsed.Seconds(), "requests/sec")
 	if got, want := srv.Served(), uint64(b.N*batch); got < want {
 		b.Fatalf("served %d of %d requests", got, want)
 	}

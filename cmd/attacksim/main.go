@@ -1,13 +1,14 @@
 // Command attacksim runs the reproduction experiments and prints the
 // paper-vs-measured tables. See EXPERIMENTS.md (generated) for the catalog
-// of experiments E1–E10.
+// of experiments E1–E11.
 //
 // Usage:
 //
-//	attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1..E10] [-json]
+//	attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1..E11] [-json]
 //	attacksim [-seed N] [-trials N] [-parallel N] -sweep mechanism,poisonquery[,mitigation]
 //	attacksim [-seed N] [-parallel N] -fleet [-clients N] [-resolvers N] [-poisoned N]
 //	attacksim [-seed N] [-trials N] -experiment E10 [-shift D] [-horizon D] [-strategy S]
+//	attacksim [-seed N] [-trials N] -experiment E11 [-auth M] [-quorum N]
 //	attacksim -experiment E10 -checkpoint f.json   # persist completed trials as they finish
 //	attacksim -experiment E10 -resume f.json       # restore them and run only the rest
 //
@@ -29,6 +30,10 @@
 // study (internal/shiftsim): the target clock shift, the virtual-time
 // budget per trial, and the attacker strategy (greedy, stealth,
 // intermittent, honest-until-threshold, or all).
+//
+// -auth and -quorum parameterise the E11 authentication arms race: the
+// attacker's auth-layer move (shift, mac-strip, forge-kod, cookie-replay,
+// or all) and the minsources quorum size of the policy contrast (0 = 3).
 //
 // -checkpoint and -resume (E10 and -sweep) persist every completed trial
 // to a JSONL file as it finishes and restore it on resume; because every
@@ -93,6 +98,9 @@ type options struct {
 	horizon  time.Duration
 	strategy string
 
+	auth   string
+	quorum int
+
 	checkpoint string
 	resume     string
 
@@ -104,10 +112,11 @@ type options struct {
 // The flag descriptions themselves come from the flag set (PrintDefaults),
 // so a newly registered flag can never be missing from -help.
 var modeSynopses = []string{
-	"attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1..E10] [-json]",
+	"attacksim [-seed N] [-trials N] [-parallel N] [-experiment all|E1..E11] [-json]",
 	"attacksim [-seed N] [-trials N] [-parallel N] -sweep mechanism,poisonquery[,mitigation]",
 	"attacksim [-seed N] [-parallel N] -fleet [-clients N] [-resolvers N] [-poisoned N]",
 	"attacksim [-seed N] [-trials N] -experiment E10 [-shift D] [-horizon D] [-strategy S]",
+	"attacksim [-seed N] [-trials N] -experiment E11 [-auth all|shift|mac-strip|forge-kod|cookie-replay] [-quorum N]",
 	"attacksim -experiment E10|-sweep … -checkpoint f.json    (persist trials as they finish)",
 	"attacksim -experiment E10|-sweep … -resume f.json        (restore them, run only the rest)",
 }
@@ -117,7 +126,7 @@ var modeSynopses = []string{
 func newFlagSet(o *options) *flag.FlagSet {
 	fs := flag.NewFlagSet("attacksim", flag.ContinueOnError)
 	fs.Int64Var(&o.seed, "seed", 1, "deterministic simulation seed (first of the replica block)")
-	fs.StringVar(&o.experiment, "experiment", "all", "experiment id (E1..E10) or 'all'")
+	fs.StringVar(&o.experiment, "experiment", "all", "experiment id (E1..E11) or 'all'")
 	fs.IntVar(&o.trials, "trials", 1, "Monte-Carlo replicas per scenario (1 = the paper's single-seed tables)")
 	fs.IntVar(&o.parallel, "parallel", 0, "worker count for the trial pool (0 = GOMAXPROCS)")
 	fs.StringVar(&o.sweep, "sweep", "", "comma-separated grid dimensions to sweep: "+strings.Join(sweepAxisNames(), ", "))
@@ -129,6 +138,8 @@ func newFlagSet(o *options) *flag.FlagSet {
 	fs.DurationVar(&o.shift, "shift", 0, "E10 target clock shift (0 = default 100ms)")
 	fs.DurationVar(&o.horizon, "horizon", 0, "E10 virtual-time budget per trial (0 = default 168h)")
 	fs.StringVar(&o.strategy, "strategy", "all", "E10 attacker strategy: "+strings.Join(shiftsim.Names(), ", ")+", or all")
+	fs.StringVar(&o.auth, "auth", "all", "E11 attacker auth-layer move: "+strings.Join(shiftsim.AuthMoves(), ", ")+", or all")
+	fs.IntVar(&o.quorum, "quorum", 0, "E11 minsources quorum size for the policy contrast (0 = default 3)")
 	fs.StringVar(&o.checkpoint, "checkpoint", "", "start a fresh checkpoint file; persists completed trials (E10 and -sweep)")
 	fs.StringVar(&o.resume, "resume", "", "resume from an existing checkpoint file (E10 and -sweep)")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
@@ -195,6 +206,16 @@ func parseFlags(args []string) (options, error) {
 		if _, err := shiftsim.ByName(o.strategy); err != nil {
 			return o, err
 		}
+	}
+	authable := !o.fleet && o.sweep == "" && o.experiment == "E11"
+	if (set["auth"] || set["quorum"]) && !authable {
+		return o, fmt.Errorf("-auth/-quorum only apply to -experiment E11 (all runs E11 at its defaults)")
+	}
+	if o.auth != "all" && shiftsim.AuthMoveDescription(o.auth) == "" {
+		return o, fmt.Errorf("unknown auth move %q (valid: %s, or all)", o.auth, strings.Join(shiftsim.AuthMoves(), ", "))
+	}
+	if o.quorum < 0 {
+		return o, fmt.Errorf("-quorum must be ≥ 0")
 	}
 	if o.checkpoint != "" && o.resume != "" {
 		return o, fmt.Errorf("-checkpoint and -resume are mutually exclusive (resume appends to the existing file)")
@@ -310,6 +331,9 @@ func runMode(w io.Writer, o options) error {
 			return eval.FleetStudy(o.seed, o.trials, o.parallel, o.clients, o.resolvers)
 		},
 		"E10": func() (*eval.Result, error) { return runE10(o) },
+		"E11": func() (*eval.Result, error) {
+			return eval.AuthStudy(o.seed, o.trials, o.parallel, 0, 0, o.auth, o.quorum)
+		},
 	}
 	emit := func(res *eval.Result) error {
 		if o.jsonOut {
@@ -342,7 +366,7 @@ func runMode(w io.Writer, o options) error {
 	}
 	r, ok := runners[o.experiment]
 	if !ok {
-		return fmt.Errorf("unknown experiment %q (want E1..E10 or all)", o.experiment)
+		return fmt.Errorf("unknown experiment %q (want E1..E11 or all)", o.experiment)
 	}
 	var res *eval.Result
 	if err := labeled("experiment", o.experiment, func() error {

@@ -74,7 +74,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 			t.Fatalf("conflicting flags %v were silently accepted", args)
 		}
 	}
-	if err := run(&strings.Builder{}, []string{"-experiment", "E42"}); err == nil || !strings.Contains(err.Error(), "E1..E10") {
+	if err := run(&strings.Builder{}, []string{"-experiment", "E42"}); err == nil || !strings.Contains(err.Error(), "E1..E11") {
 		t.Fatalf("unknown experiment error unhelpful: %v", err)
 	}
 	if err := run(&strings.Builder{}, []string{"-sweep", "nope"}); err == nil || !strings.Contains(err.Error(), "valid axes") {
@@ -117,6 +117,53 @@ func TestShiftFlagValidation(t *testing.T) {
 	if err := run(&strings.Builder{}, []string{"-experiment", "E10", "-strategy", "sneaky"}); err == nil ||
 		!strings.Contains(err.Error(), "greedy") {
 		t.Fatalf("unknown -strategy should list the valid ones, got %v", err)
+	}
+}
+
+// TestAuthFlagsOnlyApplyToE11 is the rejection matrix for the E11 flags:
+// -auth and -quorum must be refused in every other mode rather than
+// silently discarded.
+func TestAuthFlagsOnlyApplyToE11(t *testing.T) {
+	for _, args := range [][]string{
+		{"-auth", "mac-strip"},
+		{"-experiment", "E1", "-auth", "forge-kod"},
+		{"-experiment", "E10", "-quorum", "3"},
+		{"-fleet", "-auth", "shift"},
+		{"-sweep", "mechanism", "-quorum", "5"},
+	} {
+		if err := run(&strings.Builder{}, args); err == nil || !strings.Contains(err.Error(), "E11") {
+			t.Fatalf("run(%v) should reject auth flags outside E11, got %v", args, err)
+		}
+	}
+}
+
+func TestAuthFlagValidation(t *testing.T) {
+	if err := run(&strings.Builder{}, []string{"-experiment", "E11", "-auth", "teleport"}); err == nil ||
+		!strings.Contains(err.Error(), "mac-strip") {
+		t.Fatalf("unknown -auth should list the valid moves, got %v", err)
+	}
+	if err := run(&strings.Builder{}, []string{"-experiment", "E11", "-quorum", "-1"}); err == nil {
+		t.Fatal("accepted negative -quorum")
+	}
+}
+
+// TestE11EndToEnd runs the arms-race experiment through the real CLI
+// path restricted to one move, checking both policy arms reach stdout.
+func TestE11EndToEnd(t *testing.T) {
+	var out strings.Builder
+	err := run(&out, []string{"-experiment", "E11", "-seed", "3", "-auth", "mac-strip"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"E11", "mac-strip", "minsources-3", "c1c2", "sha256", "> horizon"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("E11 output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The notes legend names every registered move; only *rows* (which
+	// start the line with the move) must be restricted to the selection.
+	if strings.Contains(out.String(), "\nforge-kod") {
+		t.Fatalf("-auth mac-strip still swept other moves:\n%s", out.String())
 	}
 }
 

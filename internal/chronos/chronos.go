@@ -32,6 +32,7 @@ import (
 	"chronosntp/internal/clock"
 	"chronosntp/internal/dnsresolver"
 	"chronosntp/internal/dnswire"
+	"chronosntp/internal/ntpauth"
 	"chronosntp/internal/ntpwire"
 	"chronosntp/internal/simnet"
 )
@@ -77,6 +78,35 @@ type Config struct {
 	QueryTimeout time.Duration // per-server NTP query deadline; default 1 s
 
 	Policy PoolPolicy // §V mitigations; zero = vulnerable
+
+	// MinSources, when > 0, replaces the C1/C2 acceptance test with a
+	// chrony-style quorum: accept the average of the largest cluster of
+	// samples agreeing within 2ω iff the cluster holds at least
+	// MinSources members (chrony ships minsources 1, deployments
+	// hardening against falsetickers set 3). There is no trim and no
+	// absolute error bound — E11 contrasts exactly this against C1/C2
+	// under the same attacker.
+	MinSources int
+
+	// Auth gives the client per-server authentication requirements.
+	// nil queries every server unauthenticated with requests
+	// byte-identical to the pre-auth client.
+	Auth *AuthPolicy
+}
+
+// AuthPolicy maps pool servers to authentication requirements. In the
+// paper's threat model the pool is heterogeneous — some servers speak
+// authenticated NTP, most do not — so the policy is a per-IP lookup
+// rather than a single client-wide credential.
+type AuthPolicy struct {
+	// ForServer returns the ClientAuth for one pool server, or nil for
+	// an unauthenticated association. The result is cached per IP for
+	// the client's lifetime, so stateful credentials (NTS sessions) are
+	// created once per server. ForServer itself may be nil: the client
+	// is then unauthenticated everywhere but still KoD-aware, believing
+	// any origin-valid kiss — the vulnerable baseline the forged-KoD
+	// denial move exploits.
+	ForServer func(ip simnet.IP) *ntpauth.ClientAuth
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +157,9 @@ type Stats struct {
 	Panics          uint64 // panic-mode activations
 	PanicUpdates    uint64 // clock updates applied by panic mode
 	IncompleteRound uint64 // rounds aborted for lack of replies
+	KoDKisses       uint64 // Kiss-o'-Death replies received (believed or not)
+	AuthRejects     uint64 // replies dropped by the authentication policy
+	Demobilized     uint64 // servers demobilized by believed DENY/RSTR kisses
 }
 
 // PoolEntry records one pool member and how it got there. AddedAt is
@@ -181,6 +214,54 @@ type Client struct {
 	// index it applies rides in pendingIdx (see poolQuery).
 	absorbFn   func(dnsresolver.Result)
 	pendingIdx int
+
+	// Per-server auth state, allocated only when cfg.Auth is set so the
+	// unauthenticated client carries no extra footprint at fleet scale.
+	authCache map[uint32]*ntpauth.ClientAuth
+	kodState  map[uint32]*ntpauth.AssocState
+}
+
+// authFor returns (caching) the ClientAuth for a pool server.
+func (c *Client) authFor(ip simnet.IP) *ntpauth.ClientAuth {
+	k := ipKey(ip)
+	if a, ok := c.authCache[k]; ok {
+		return a
+	}
+	var a *ntpauth.ClientAuth
+	if c.cfg.Auth.ForServer != nil {
+		a = c.cfg.Auth.ForServer(ip)
+	}
+	if c.authCache == nil {
+		c.authCache = make(map[uint32]*ntpauth.ClientAuth)
+	}
+	c.authCache[k] = a
+	return a
+}
+
+// kodFor returns (caching) the KoD state machine for a pool server.
+func (c *Client) kodFor(ip simnet.IP) *ntpauth.AssocState {
+	k := ipKey(ip)
+	if st, ok := c.kodState[k]; ok {
+		return st
+	}
+	if c.kodState == nil {
+		c.kodState = make(map[uint32]*ntpauth.AssocState)
+	}
+	st := new(ntpauth.AssocState)
+	c.kodState[k] = st
+	return st
+}
+
+// UsableServers reports how many pool servers are not demobilized by
+// KoD (experiment instrumentation).
+func (c *Client) UsableServers() int {
+	n := len(c.pool)
+	for _, st := range c.kodState {
+		if !st.Usable() {
+			n--
+		}
+	}
+	return n
 }
 
 // New builds a Chronos client. stub may be nil when the pool is seeded
@@ -497,9 +578,25 @@ func (c *Client) querySample(sample []simnet.IP, done func([]time.Duration)) {
 	net.After(c.cfg.QueryTimeout, func() { done(offsets) })
 }
 
-// queryOne sends a single NTP client request with origin validation.
+// queryOne sends a single NTP client request with origin validation
+// and, when an auth policy is configured, per-server credentials and
+// Kiss-o'-Death handling.
 func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
 	net := c.host.Net()
+	var auth *ntpauth.ClientAuth
+	var kst *ntpauth.AssocState
+	if c.cfg.Auth != nil {
+		auth = c.authFor(addr.IP)
+		kst = c.kodFor(addr.IP)
+		if !kst.Usable() {
+			// Demobilized by DENY/RSTR: never query again. The sample
+			// simply never arrives, shrinking this round's reply count —
+			// which is exactly how denial pressure reaches the C1/C2 and
+			// quorum rules.
+			cb(0, false)
+			return
+		}
+	}
 	port := c.host.EphemeralPort()
 	if port == 0 {
 		cb(0, false)
@@ -514,9 +611,37 @@ func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
 			return
 		}
 		var resp ntpwire.Packet
-		if err := ntpwire.DecodeInto(&resp, payload); err != nil ||
-			!ntpwire.ValidServerResponse(&resp, ntpwire.TimestampFromTime(t1)) {
+		if err := ntpwire.DecodeInto(&resp, payload); err != nil {
 			return
+		}
+		if kst != nil && ntpauth.IsKoD(&resp) {
+			// Believe only kisses that echo our origin, and only
+			// authenticated ones on require-auth associations (RFC 8915
+			// §5.7) — the property that disarms forged-KoD denial.
+			if resp.OriginTime != ntpwire.TimestampFromTime(t1) {
+				return
+			}
+			c.stats.KoDKisses++
+			authed, _ := auth.VerifyResponse(payload)
+			wasUsable := kst.Usable()
+			kst.OnKoD(ntpauth.Code(&resp), authed, auth.RequiresAuth())
+			if wasUsable && !kst.Usable() {
+				c.stats.Demobilized++
+			}
+			answered = true
+			c.host.Close(port)
+			timeout.Cancel()
+			cb(0, false)
+			return
+		}
+		if !ntpwire.ValidServerResponse(&resp, ntpwire.TimestampFromTime(t1)) {
+			return
+		}
+		if auth != nil {
+			if _, acceptable := auth.VerifyResponse(payload); !acceptable {
+				c.stats.AuthRejects++
+				return
+			}
 		}
 		answered = true
 		c.host.Close(port)
@@ -535,8 +660,12 @@ func (c *Client) queryOne(addr simnet.Addr, cb func(time.Duration, bool)) {
 	var req ntpwire.Packet
 	ntpwire.FillClientPacket(&req, t1)
 	// SendUDP copies the payload into a pooled buffer, so one request
-	// scratch per client serves every sample without allocating.
+	// scratch per client serves every sample without allocating. The
+	// auth policy appends this server's credentials (no-op when nil).
 	c.wireBuf = req.AppendEncode(c.wireBuf[:0])
+	if auth != nil {
+		c.wireBuf = auth.SealRequest(c.wireBuf)
+	}
 	_ = c.host.SendUDP(port, addr, c.wireBuf)
 	timeout = net.After(c.cfg.QueryTimeout, func() {
 		if !answered {

@@ -22,6 +22,7 @@ const (
 	FailInsufficient            // fewer replies than MinReplies, or too few to trim
 	FailC1                      // survivors spread over more than 2ω
 	FailC2                      // |survivor average| exceeds ErrBound
+	FailQuorum                  // largest agreeing cluster smaller than MinSources
 )
 
 // String implements fmt.Stringer.
@@ -35,6 +36,8 @@ func (r FailReason) String() string {
 		return "c1-spread"
 	case FailC2:
 		return "c2-errbound"
+	case FailQuorum:
+		return "quorum-insufficient"
 	default:
 		return "FailReason(?)"
 	}
@@ -85,6 +88,9 @@ func (r Rule) SampleIndices(rng *rand.Rand, poolSize int) []int {
 // the survivors' average iff (C1) they lie within 2ω of each other and
 // (C2) the average is within ErrBound of the local clock.
 func (r Rule) Evaluate(offsets []time.Duration) Verdict {
+	if r.cfg.MinSources > 0 {
+		return r.evaluateQuorum(offsets)
+	}
 	if len(offsets) < r.cfg.MinReplies || len(offsets) <= 2*r.cfg.Trim {
 		return Verdict{Reason: FailInsufficient}
 	}
@@ -99,6 +105,37 @@ func (r Rule) Evaluate(offsets []time.Duration) Verdict {
 	default:
 		return Verdict{OK: true, Update: avg, Span: span}
 	}
+}
+
+// evaluateQuorum is the chrony-style minsources acceptance test E11
+// contrasts against C1/C2: sort the samples, find the largest cluster
+// agreeing within 2ω, and accept its average iff it holds at least
+// MinSources members. There is no trim and no absolute error bound —
+// an attacker who musters MinSources agreeing sources wins outright,
+// while a KoD-denial attacker who starves the client below MinSources
+// replies wins the other way. Span reports the winning cluster's
+// spread.
+func (r Rule) evaluateQuorum(offsets []time.Duration) Verdict {
+	if len(offsets) < r.cfg.MinSources {
+		return Verdict{Reason: FailInsufficient}
+	}
+	sorted := trimmed(offsets, 0) // sorts in place, like the classic path
+	best, bestLo := 1, 0
+	for lo, hi := 0, 0; hi < len(sorted); hi++ {
+		for sorted[hi]-sorted[lo] > 2*r.cfg.Omega {
+			lo++
+		}
+		if hi-lo+1 > best {
+			best, bestLo = hi-lo+1, lo
+		}
+	}
+	cluster := sorted[bestLo : bestLo+best]
+	avg := mean(cluster)
+	span := cluster[len(cluster)-1] - cluster[0]
+	if best < r.cfg.MinSources {
+		return Verdict{Update: avg, Span: span, Reason: FailQuorum}
+	}
+	return Verdict{OK: true, Update: avg, Span: span}
 }
 
 // PanicTrim returns how many samples panic mode discards from each end of

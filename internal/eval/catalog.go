@@ -133,5 +133,17 @@ func Catalog() []CatalogEntry {
 			},
 			Payload: &ShiftStudyPayload{},
 		},
+		{
+			ID:      "E11",
+			Claim:   "What the paper leaves open: per-server authentication (symmetric MACs / NTS-style cookies) defeats the poisoned-pool shift — unless the scheme is forgeable or the client tolerates unauthenticated replies — and forged KoD turns compliance itself into the attack surface.",
+			Section: "beyond §V (authenticated time)",
+			Run:     "go run ./cmd/attacksim -experiment E11 [-auth all|shift|mac-strip|forge-kod|cookie-replay] [-quorum N]",
+			Axes:    []string{"attacker move (shift, mac-strip, forge-kod, cookie-replay)", "acceptance policy (C1/C2 vs minsources quorum)", "authenticated fraction (0, 0.67, 1)", "credential scheme (md5, sha256, nts)", "seed", "trials"},
+			Notes: []string{
+				"Runs the E10 engine with the internal/ntpauth decision model; the per-sample semantics (require-auth rejection, forged-KoD demobilization, replay binding) are pinned against the packet-level stack by the chronos/wirenet auth tests.",
+				"The headline contrast: every move shifts the unauthenticated client, none shifts a require-auth client under a strong scheme (the attack degrades to starvation), and MD5 re-enables all of them.",
+			},
+			Payload: &AuthStudyPayload{},
+		},
 	}
 }

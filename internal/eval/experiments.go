@@ -286,7 +286,8 @@ func Mitigations(seed int64, trials, parallel int) (*Result, error) {
 // fragstudy.go; E9, the fleet study, in fleetstudy.go — clients and
 // resolvers size its population, 0 = the 1000/10 defaults; E10, the
 // long-horizon shift study, in shiftstudy.go at its default target,
-// horizon and full strategy sweep).
+// horizon and full strategy sweep; E11, the authentication arms race,
+// in authstudy.go at its default grid).
 func All(seed int64, trials, parallel, clients, resolvers int) ([]*Result, error) {
 	var out []*Result
 	steps := []func() (*Result, error){
@@ -300,6 +301,7 @@ func All(seed int64, trials, parallel, clients, resolvers int) ([]*Result, error
 		func() (*Result, error) { return Ablations(seed, trials, parallel) },
 		func() (*Result, error) { return FleetStudy(seed, trials, parallel, clients, resolvers) },
 		func() (*Result, error) { return ShiftStudy(seed, trials, parallel, 0, 0, "all") },
+		func() (*Result, error) { return AuthStudy(seed, trials, parallel, 0, 0, "all", 0) },
 	}
 	for _, step := range steps {
 		res, err := step()

@@ -33,6 +33,7 @@ func goldenCases() []struct {
 		{"E8", func() (*Result, error) { return Ablations(1, 1, 1) }},
 		{"E9", func() (*Result, error) { return FleetStudy(1, 1, 1, 600, 6) }},
 		{"E10", func() (*Result, error) { return ShiftStudy(1, 1, 1, 0, 24*time.Hour, "all") }},
+		{"E11", func() (*Result, error) { return AuthStudy(1, 1, 1, 0, 12*time.Hour, "all", 0) }},
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"chronosntp/internal/analysis"
+	"chronosntp/internal/shiftsim"
 	"chronosntp/internal/stats"
 )
 
@@ -423,6 +424,85 @@ func (p *FleetStudyPayload) Table(m Meta) *Table {
 	)
 	mcNote(t, m.Trials)
 	return t
+}
+
+// AuthRow is one E11 grid point: an (attacker move × acceptance policy ×
+// authenticated fraction × credential scheme) cell over the poisoned
+// pool. Scheme is "-" when AuthFrac is 0 (no credentials to grade).
+type AuthRow struct {
+	Move     string  `json:"move"`
+	Policy   string  `json:"policy"`
+	AuthFrac float64 `json:"auth_frac"`
+	Scheme   string  `json:"scheme"`
+
+	Hit          stats.Summary `json:"hit"`           // 0/1 per trial: target reached within horizon
+	ShiftedCount int           `json:"shifted_count"` // trials that reached the target
+	TimeToShift  stats.Summary `json:"time_to_shift"` // over shifted trials only (ns)
+	Updates      stats.Summary `json:"updates"`       // normal-path clock updates
+	Panics       stats.Summary `json:"panics"`
+	AuthRejected stats.Summary `json:"auth_rejected"` // samples dropped by the credential policy
+	Demobilized  stats.Summary `json:"demobilized"`   // associations killed by believed forged kisses
+}
+
+// AuthStudyPayload is E11: the authentication arms race measured through
+// the long-horizon shift engine on the paper's poisoned pool.
+type AuthStudyPayload struct {
+	Target     time.Duration `json:"target_ns"`
+	Horizon    time.Duration `json:"horizon_ns"`
+	Pool       int           `json:"pool"`
+	Malicious  int           `json:"malicious"`
+	MinSources int           `json:"min_sources"` // quorum size of the minsources policy arm
+	Rows       []AuthRow     `json:"rows"`
+}
+
+// Kind implements Payload.
+func (*AuthStudyPayload) Kind() string { return "auth-study" }
+
+// Table implements Payload.
+func (p *AuthStudyPayload) Table(m Meta) *Table {
+	t := &Table{
+		ID: m.ID,
+		Title: fmt.Sprintf("Authentication arms race — greedy attacker on the %d/%d poisoned pool, %v target, %v horizon",
+			p.Malicious, p.Pool, p.Target, p.Horizon),
+		Columns: []string{
+			"move", "policy", "auth-frac", "scheme",
+			"shifted", "time-to-shift", "updates", "panics", "auth-rejects", "demobilized",
+		},
+	}
+	for _, r := range p.Rows {
+		timeCell := "> horizon"
+		if r.ShiftedCount > 0 {
+			timeCell = fmtLongDur(r.TimeToShift)
+		}
+		t.AddRow(
+			r.Move, r.Policy, fmt.Sprintf("%.2f", r.AuthFrac), r.Scheme,
+			fmtFrac(r.Hit), timeCell,
+			fmtCount(r.Updates), fmtCount(r.Panics),
+			fmtCount(r.AuthRejected), fmtCount(r.Demobilized),
+		)
+	}
+	t.Notes = append(t.Notes,
+		"auth-frac is the share of benign servers the client holds credentials for; frac > 0 puts it in require-auth mode (unverifiable samples dropped)",
+		"schemes grade forgery resistance only: md5 is attacker-forgeable at line rate, sha256/nts are not (nts adds the cookie/uid binding cookie-replay tests)",
+		"moves: "+authMoveLegend(),
+		fmt.Sprintf("policy contrasts classic C1/C2 acceptance against a chrony-style best-cluster quorum of %d (no trim, no error bound)", p.MinSources),
+		"auth-rejects counts samples the client's credential policy dropped; demobilized counts associations killed by believed forged DENY kisses",
+	)
+	mcNote(t, m.Trials)
+	return t
+}
+
+// authMoveLegend renders the registered auth moves with their one-line
+// descriptions, straight from the shiftsim registry.
+func authMoveLegend() string {
+	parts := ""
+	for i, mv := range shiftsim.AuthMoves() {
+		if i > 0 {
+			parts += "; "
+		}
+		parts += mv + " = " + shiftsim.AuthMoveDescription(mv)
+	}
+	return parts
 }
 
 // ShiftRow is one E10 grid point: a (pool composition × strategy ×

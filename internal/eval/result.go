@@ -112,6 +112,7 @@ var payloadKinds = map[string]func() Payload{
 	(&AblationsPayload{}).Kind():     func() Payload { return &AblationsPayload{} },
 	(&FleetStudyPayload{}).Kind():    func() Payload { return &FleetStudyPayload{} },
 	(&ShiftStudyPayload{}).Kind():    func() Payload { return &ShiftStudyPayload{} },
+	(&AuthStudyPayload{}).Kind():     func() Payload { return &AuthStudyPayload{} },
 }
 
 // newMeta stamps an experiment's provenance block.

@@ -1,0 +1,127 @@
+package ntpauth
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+	"time"
+
+	"chronosntp/internal/ntpwire"
+)
+
+// fuzzAuthEnv is the shared fixture for FuzzAuthExtensions: one key per
+// algorithm, an NTS server, and a require-auth policy over both. Built
+// lazily once per process; the fuzz callback runs sequentially within a
+// process so the non-concurrency-safe MACer state is fine.
+type fuzzAuthEnv struct {
+	table  *KeyTable
+	mac    *MACer
+	srv    *NTSServer
+	policy *ServerAuth
+}
+
+var fuzzAuth = sync.OnceValue(func() *fuzzAuthEnv {
+	table, err := NewKeyTable(
+		Key{ID: 1, Algo: AlgoMD5, Secret: []byte("fuzz-md5")},
+		Key{ID: 2, Algo: AlgoSHA1, Secret: []byte("fuzz-sha1")},
+		Key{ID: 3, Algo: AlgoSHA256, Secret: []byte("fuzz-sha256")},
+	)
+	if err != nil {
+		panic(err)
+	}
+	srv, err := NewNTSServer(bytes.Repeat([]byte{0x42}, 16))
+	if err != nil {
+		panic(err)
+	}
+	return &fuzzAuthEnv{
+		table:  table,
+		mac:    NewMACer(table),
+		srv:    srv,
+		policy: &ServerAuth{Keys: table, NTS: srv, Require: true},
+	}
+})
+
+// FuzzAuthExtensions hammers the authenticated-datagram surface —
+// ntpwire.SplitAuth/ExtIter framing plus the ServerAuth classification
+// that sits directly on the wirenet read loop — with arbitrary bytes.
+// Invariants: no panics anywhere; SplitAuth's regions tile the
+// datagram exactly; extension iteration stays in bounds; and
+// verify-iff-valid — whenever classification reports a valid MAC, an
+// independent recomputation of the digest must agree, so forged or
+// bit-flipped trailers can never classify as authenticated.
+func FuzzAuthExtensions(f *testing.F) {
+	env := fuzzAuth()
+	t1 := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	base := ntpwire.NewClientPacket(t1).Encode()
+
+	// Seeds: bare header; one genuine MAC per algorithm; a genuine NTS
+	// request; a lone uid extension; a truncated MAC; framing soup.
+	f.Add(append([]byte(nil), base...))
+	for id := uint32(1); id <= 3; id++ {
+		sealed, _ := env.mac.AppendMAC(append([]byte(nil), base...), id, base)
+		f.Add(sealed)
+	}
+	if sess, err := Establish(env.srv, 99, 2); err == nil {
+		if sealed, ok := sess.SealRequest(append([]byte(nil), base...)); ok {
+			f.Add(sealed)
+		}
+	}
+	f.Add(ntpwire.AppendExtension(append([]byte(nil), base...), ntpwire.ExtUniqueIdentifier, make([]byte, 16)))
+	f.Add(append(append([]byte(nil), base...), make([]byte, 19)...))
+	f.Add(append(append([]byte(nil), base...), 0x01, 0x04, 0x00, 0x03))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ext, mac, ok := ntpwire.SplitAuth(data)
+		if ok {
+			if ntpwire.PacketSize+len(ext)+len(mac) != len(data) {
+				t.Fatalf("regions do not tile: %d+%d+%d != %d",
+					ntpwire.PacketSize, len(ext), len(mac), len(data))
+			}
+			// Iteration must terminate and stay in bounds (a panic here
+			// fails the fuzz run).
+			it := ntpwire.IterExtensions(ext)
+			for {
+				_, body, more := it.Next()
+				if !more {
+					break
+				}
+				_ = body
+			}
+		} else if len(data) >= ntpwire.PacketSize {
+			// Malformed post-header region: it must not be empty.
+			if len(data) == ntpwire.PacketSize {
+				t.Fatal("SplitAuth rejected a bare header")
+			}
+		}
+
+		var ra RequestAuth
+		env.policy.Authenticate(data, &ra)
+		if ra.Kind == AuthMAC {
+			// verify-iff-valid: recompute the digest independently.
+			k, found := env.table.Lookup(ra.KeyID)
+			if !found {
+				t.Fatalf("authenticated under unknown key %d", ra.KeyID)
+			}
+			trailer := data[len(data)-k.Algo.TrailerSize():]
+			if got := binary.BigEndian.Uint32(trailer[:4]); got != ra.KeyID {
+				t.Fatalf("trailer key ID %d != classified %d", got, ra.KeyID)
+			}
+			fresh := NewMACer(env.table)
+			if _, ok := fresh.Verify(data[:len(data)-len(trailer)], trailer); !ok {
+				t.Fatal("classified MAC does not re-verify")
+			}
+		}
+		if ra.Authenticated() && ra.Bad {
+			t.Fatal("authenticated and bad at once")
+		}
+
+		// The client-side verifier must be panic-free on the same bytes.
+		client := &ClientAuth{Key: Key{ID: 3, Algo: AlgoSHA256, Secret: []byte("fuzz-sha256")}, Require: true}
+		authed, acc := client.VerifyResponse(data)
+		if authed && !acc {
+			t.Fatal("authenticated reply not acceptable")
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package ntpauth
+
+import (
+	"crypto/md5"
+	"crypto/sha1"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"hash"
+
+	"chronosntp/internal/ntpwire"
+)
+
+// MACer computes and verifies symmetric-MAC trailers. It owns one
+// reusable digest instance per algorithm plus a fixed scratch buffer,
+// so steady-state Append/Verify perform zero heap allocations — the
+// property the wirenet read loop's alloc ceiling depends on. A MACer is
+// NOT safe for concurrent use; each read loop (and each client
+// association pool) owns its own.
+//
+// The MAC is the classic NTP construction digest(secret ‖ message) —
+// not HMAC — matching ntpd/chrony symmetric keys. Verification is
+// constant-time in the digest comparison.
+type MACer struct {
+	table  *KeyTable
+	hashes [AlgoSHA256 + 1]hash.Hash // lazily built, indexed by Algorithm
+	sum    [MaxDigestSize]byte
+}
+
+// NewMACer builds a MACer over table (which may be shared; the table is
+// read-only after construction).
+func NewMACer(table *KeyTable) *MACer { return &MACer{table: table} }
+
+func (m *MACer) hashFor(a Algorithm) hash.Hash {
+	if h := m.hashes[a]; h != nil {
+		return h
+	}
+	var h hash.Hash
+	switch a {
+	case AlgoMD5:
+		h = md5.New()
+	case AlgoSHA1:
+		h = sha1.New()
+	case AlgoSHA256:
+		h = sha256.New()
+	}
+	m.hashes[a] = h
+	return h
+}
+
+// digest computes digest(secret ‖ msg) into m.sum and returns the
+// filled prefix.
+func (m *MACer) digest(k Key, msg []byte) []byte {
+	h := m.hashFor(k.Algo)
+	h.Reset()
+	h.Write(k.Secret)
+	h.Write(msg)
+	return h.Sum(m.sum[:0])
+}
+
+// AppendMAC appends the trailer (key ID, digest(secret ‖ msg)) for key
+// keyID onto dst and returns the extended slice; ok is false when the
+// key is unknown. msg and dst may be the same slice — the digest is
+// computed before dst grows.
+func (m *MACer) AppendMAC(dst []byte, keyID uint32, msg []byte) ([]byte, bool) {
+	k, ok := m.table.Lookup(keyID)
+	if !ok {
+		return dst, false
+	}
+	d := m.digest(k, msg)
+	var id [ntpwire.MACKeyIDSize]byte
+	binary.BigEndian.PutUint32(id[:], keyID)
+	dst = append(dst, id[:]...)
+	dst = append(dst, d...)
+	return dst, true
+}
+
+// Verify checks trailer (key ID + digest, as split by
+// ntpwire.SplitAuth) against msg. ok is true iff the trailer length is
+// legal, the key is known, the trailer length matches the key's
+// algorithm, and the digest matches in constant time.
+func (m *MACer) Verify(msg, trailer []byte) (keyID uint32, ok bool) {
+	if !ntpwire.IsMACTrailerLen(len(trailer)) {
+		return 0, false
+	}
+	keyID = binary.BigEndian.Uint32(trailer[:ntpwire.MACKeyIDSize])
+	k, found := m.table.Lookup(keyID)
+	if !found || k.Algo.TrailerSize() != len(trailer) {
+		return keyID, false
+	}
+	d := m.digest(k, msg)
+	return keyID, subtle.ConstantTimeCompare(d, trailer[ntpwire.MACKeyIDSize:]) == 1
+}

@@ -1,0 +1,372 @@
+package ntpauth
+
+import (
+	"testing"
+	"time"
+
+	"chronosntp/internal/ntpwire"
+)
+
+func testKey(id uint32, algo Algorithm) Key {
+	return Key{ID: id, Algo: algo, Secret: []byte("chronos-test-secret")}
+}
+
+func encodedRequest(t *testing.T) []byte {
+	t.Helper()
+	now := time.Date(2020, 6, 1, 12, 0, 0, 0, time.UTC)
+	p := ntpwire.NewClientPacket(now)
+	return p.AppendEncode(make([]byte, 0, 256))
+}
+
+func TestMACRoundTripAllAlgorithms(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoMD5, AlgoSHA1, AlgoSHA256} {
+		table, err := NewKeyTable(testKey(7, algo))
+		if err != nil {
+			t.Fatalf("%v: NewKeyTable: %v", algo, err)
+		}
+		m := NewMACer(table)
+		msg := encodedRequest(t)
+		out, ok := m.AppendMAC(msg, 7, msg)
+		if !ok {
+			t.Fatalf("%v: AppendMAC refused known key", algo)
+		}
+		if got, want := len(out), ntpwire.PacketSize+algo.TrailerSize(); got != want {
+			t.Fatalf("%v: trailer length %d, want %d", algo, got, want)
+		}
+		ext, mac, ok := ntpwire.SplitAuth(out)
+		if !ok || len(ext) != 0 || len(mac) != algo.TrailerSize() {
+			t.Fatalf("%v: SplitAuth ext=%d mac=%d ok=%v", algo, len(ext), len(mac), ok)
+		}
+		keyID, ok := m.Verify(out[:len(out)-len(mac)], mac)
+		if !ok || keyID != 7 {
+			t.Fatalf("%v: Verify keyID=%d ok=%v", algo, keyID, ok)
+		}
+		// Any single flipped bit in header or trailer must fail verification.
+		for _, i := range []int{0, 20, len(out) - 1} {
+			tampered := append([]byte(nil), out...)
+			tampered[i] ^= 1
+			if _, ok := m.Verify(tampered[:len(tampered)-len(mac)], tampered[len(tampered)-len(mac):]); ok {
+				t.Fatalf("%v: tampered byte %d still verifies", algo, i)
+			}
+		}
+	}
+}
+
+func TestMACVerifyRejectsUnknownKeyAndWrongAlgo(t *testing.T) {
+	table, err := NewKeyTable(testKey(1, AlgoSHA256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMACer(table)
+	msg := encodedRequest(t)
+	out, _ := m.AppendMAC(msg, 1, msg)
+	mac := out[ntpwire.PacketSize:]
+	// Unknown key ID.
+	bad := append([]byte(nil), mac...)
+	bad[3] = 99
+	if _, ok := m.Verify(msg, bad); ok {
+		t.Fatal("unknown key ID verified")
+	}
+	// Right key, trailer length of a different algorithm.
+	if _, ok := m.Verify(msg, mac[:20]); ok {
+		t.Fatal("truncated trailer verified")
+	}
+}
+
+func TestKeyTableRejectsAmbiguousAndInvalidKeys(t *testing.T) {
+	cases := []Key{
+		{ID: 1, Algo: AlgoNone, Secret: []byte("x")},       // no algorithm
+		{ID: 1, Algo: AlgoMD5},                             // empty secret
+		{ID: 20, Algo: AlgoMD5, Secret: []byte("x")},       // low 16 bits == md5 trailer len
+		{ID: 0x70018, Algo: AlgoSHA1, Secret: []byte("x")}, // low 16 bits == sha1 trailer len
+	}
+	for _, k := range cases {
+		if _, err := NewKeyTable(k); err == nil {
+			t.Errorf("key %+v accepted, want error", k)
+		}
+	}
+	if _, err := NewKeyTable(testKey(1, AlgoMD5), testKey(1, AlgoSHA1)); err == nil {
+		t.Error("duplicate key ID accepted")
+	}
+}
+
+func TestSplitAuthPrefersExtensionParse(t *testing.T) {
+	// A region that parses entirely as extension fields is not a MAC,
+	// even when its total length matches a MAC trailer length.
+	b := encodedRequest(t)
+	b = ntpwire.AppendExtension(b, ntpwire.ExtUniqueIdentifier, make([]byte, 16))
+	ext, mac, ok := ntpwire.SplitAuth(b)
+	if !ok || len(mac) != 0 || len(ext) != 20 {
+		t.Fatalf("uid-only packet: ext=%d mac=%d ok=%v", len(ext), len(mac), ok)
+	}
+}
+
+func TestNTSRoundTrip(t *testing.T) {
+	srv, err := NewNTSServer(make([]byte, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Establish(srv, 42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Cookies() != 3 {
+		t.Fatalf("cookies after establish: %d", sess.Cookies())
+	}
+
+	req := encodedRequest(t)
+	sealed, ok := sess.SealRequest(req)
+	if !ok {
+		t.Fatal("SealRequest failed with cookies available")
+	}
+	if sess.Cookies() != 2 {
+		t.Fatalf("cookies after seal: %d", sess.Cookies())
+	}
+
+	var st NTSRequest
+	if !srv.VerifyRequest(sealed, &st) {
+		t.Fatal("server rejected a freshly sealed request")
+	}
+
+	// Server reply: echo origin, seal with s2c.
+	now := time.Date(2020, 6, 1, 12, 0, 1, 0, time.UTC)
+	var reqPkt, respPkt ntpwire.Packet
+	if err := ntpwire.DecodeInto(&reqPkt, sealed); err != nil {
+		t.Fatal(err)
+	}
+	respPkt = ntpwire.Packet{
+		Version: ntpwire.Version, Mode: ntpwire.ModeServer, Stratum: 2,
+		OriginTime:   reqPkt.TransmitTime,
+		ReceiveTime:  ntpwire.TimestampFromTime(now),
+		TransmitTime: ntpwire.TimestampFromTime(now),
+	}
+	resp := respPkt.AppendEncode(make([]byte, 0, 256))
+	resp = srv.SealResponse(resp, &st)
+
+	if !sess.VerifyResponse(resp) {
+		t.Fatal("client rejected a genuine response")
+	}
+	if sess.Cookies() != 3 {
+		t.Fatalf("cookie pool not replenished: %d", sess.Cookies())
+	}
+
+	// Replaying the same response must fail (uid no longer pending).
+	if sess.VerifyResponse(resp) {
+		t.Fatal("replayed response accepted")
+	}
+
+	// Tampered response must fail.
+	sealed2, _ := sess.SealRequest(encodedRequest(t))
+	var st2 NTSRequest
+	if !srv.VerifyRequest(sealed2, &st2) {
+		t.Fatal("second request rejected")
+	}
+	resp2 := respPkt.AppendEncode(make([]byte, 0, 256))
+	resp2 = srv.SealResponse(resp2, &st2)
+	resp2[10] ^= 1
+	if sess.VerifyResponse(resp2) {
+		t.Fatal("tampered response accepted")
+	}
+}
+
+func TestNTSRequestReplayIsServerAcceptedButClientBound(t *testing.T) {
+	// A replayed *request* still opens at the server (cookies are not
+	// one-time in RFC 8915 either) — the defense is that the client only
+	// accepts a response matching its current unique identifier.
+	srv, _ := NewNTSServer(make([]byte, 16))
+	sess, _ := Establish(srv, 7, 2)
+	sealed, _ := sess.SealRequest(encodedRequest(t))
+	var st NTSRequest
+	if !srv.VerifyRequest(sealed, &st) {
+		t.Fatal("first verify failed")
+	}
+	var st2 NTSRequest
+	if !srv.VerifyRequest(sealed, &st2) {
+		t.Fatal("replay rejected by server (model expects accept)")
+	}
+	// Client moves on to a new request; a response to the replay is dead.
+	if _, ok := sess.SealRequest(encodedRequest(t)); !ok {
+		t.Fatal("second seal failed")
+	}
+	respPkt := ntpwire.Packet{Version: 4, Mode: ntpwire.ModeServer, Stratum: 2}
+	resp := respPkt.AppendEncode(make([]byte, 0, 256))
+	resp = srv.SealResponse(resp, &st2)
+	if sess.VerifyResponse(resp) {
+		t.Fatal("response bound to stale uid accepted")
+	}
+}
+
+func TestNTSCookieExhaustion(t *testing.T) {
+	srv, _ := NewNTSServer(make([]byte, 16))
+	sess, _ := Establish(srv, 9, 1)
+	if _, ok := sess.SealRequest(encodedRequest(t)); !ok {
+		t.Fatal("first seal failed")
+	}
+	if out, ok := sess.SealRequest(encodedRequest(t)); ok || len(out) != ntpwire.PacketSize {
+		t.Fatalf("seal with empty pool: ok=%v len=%d", ok, len(out))
+	}
+}
+
+func TestKoDPacketAndStateMachine(t *testing.T) {
+	now := time.Date(2020, 6, 1, 0, 0, 0, 0, time.UTC)
+	req := ntpwire.NewClientPacket(now)
+	var kod ntpwire.Packet
+	FillKoD(&kod, KissDENY, req, now)
+	if !IsKoD(&kod) || Code(&kod) != KissDENY {
+		t.Fatalf("FillKoD: IsKoD=%v code=%v", IsKoD(&kod), Code(&kod))
+	}
+	if kod.OriginTime != req.TransmitTime {
+		t.Fatal("KoD does not echo origin")
+	}
+	// A KoD must NOT pass the normal reply predicate (stratum 0).
+	if ntpwire.ValidServerResponse(&kod, req.TransmitTime) {
+		t.Fatal("KoD passes ValidServerResponse")
+	}
+	if KissDENY.String() != "DENY" || KissRATE.String() != "RATE" || KissRSTR.String() != "RSTR" {
+		t.Fatal("kiss code strings wrong")
+	}
+	if ParseKissCode("RSTR") != KissRSTR || ParseKissCode("nope") != 0 {
+		t.Fatal("ParseKissCode wrong")
+	}
+
+	var s AssocState
+	s.OnKoD(KissRATE, false, false)
+	if s.Dead || s.RateStrikes != 1 {
+		t.Fatalf("after RATE: %+v", s)
+	}
+	s.OnKoD(KissDENY, false, true) // unauthenticated kiss on a require-auth assoc: ignored
+	if s.Dead {
+		t.Fatal("require-auth association believed an unauthenticated DENY")
+	}
+	s.OnKoD(KissDENY, true, true)
+	if !s.Dead || s.Usable() {
+		t.Fatal("authenticated DENY did not demobilize")
+	}
+}
+
+func TestServerAuthPolicy(t *testing.T) {
+	table, _ := NewKeyTable(testKey(5, AlgoSHA256))
+	srvNTS, _ := NewNTSServer(make([]byte, 16))
+	auth := &ServerAuth{Keys: table, NTS: srvNTS, Require: true}
+
+	var ra RequestAuth
+	// Bare request under Require: DENY.
+	bare := encodedRequest(t)
+	auth.Authenticate(bare, &ra)
+	if ra.Authenticated() || auth.KissFor(&ra) != KissDENY {
+		t.Fatalf("bare request: %+v kiss=%v", ra, auth.KissFor(&ra))
+	}
+
+	// MAC request: verified, served, reply sealed with same key.
+	client := &ClientAuth{Key: testKey(5, AlgoSHA256), Require: true}
+	macReq := client.SealRequest(encodedRequest(t))
+	auth.Authenticate(macReq, &ra)
+	if !ra.Authenticated() || ra.Kind != AuthMAC || ra.KeyID != 5 || auth.KissFor(&ra) != 0 {
+		t.Fatalf("mac request: %+v", ra)
+	}
+	reply := ntpwire.Packet{Version: 4, Mode: ntpwire.ModeServer, Stratum: 2}
+	out := reply.AppendEncode(make([]byte, 0, 256))
+	out = auth.SealResponse(out, &ra)
+	if authed, acc := client.VerifyResponse(out); !authed || !acc {
+		t.Fatalf("client rejects MAC reply: authed=%v acc=%v", authed, acc)
+	}
+
+	// Stripped reply (attacker removed the MAC): not acceptable under Require.
+	if authed, acc := client.VerifyResponse(out[:ntpwire.PacketSize]); authed || acc {
+		t.Fatalf("stripped reply: authed=%v acc=%v", authed, acc)
+	}
+	// Same stripped reply on a non-require association: acceptable downgrade.
+	lax := &ClientAuth{Key: testKey(5, AlgoSHA256)}
+	if authed, acc := lax.VerifyResponse(out[:ntpwire.PacketSize]); authed || !acc {
+		t.Fatalf("lax stripped reply: authed=%v acc=%v", authed, acc)
+	}
+	// Corrupted MAC: never acceptable, even without Require.
+	bad := append([]byte(nil), out...)
+	bad[len(bad)-1] ^= 1
+	if _, acc := lax.VerifyResponse(bad); acc {
+		t.Fatal("corrupted MAC accepted")
+	}
+
+	// Deny policy kisses everyone, even authenticated clients.
+	denySrv := &ServerAuth{Keys: table, Deny: KissRATE}
+	denySrv.Authenticate(macReq, &ra)
+	if denySrv.KissFor(&ra) != KissRATE {
+		t.Fatal("Deny policy did not kiss")
+	}
+
+	// Nil policy is a no-op.
+	var nilAuth *ServerAuth
+	nilAuth.Authenticate(macReq, &ra)
+	if ra.Kind != AuthNone || nilAuth.KissFor(&ra) != 0 {
+		t.Fatal("nil policy classified something")
+	}
+	if got := nilAuth.SealResponse(out[:ntpwire.PacketSize], &ra); len(got) != ntpwire.PacketSize {
+		t.Fatal("nil policy sealed something")
+	}
+}
+
+func TestClientAuthNTSMode(t *testing.T) {
+	srvNTS, _ := NewNTSServer(make([]byte, 16))
+	sess, _ := Establish(srvNTS, 11, 4)
+	client := &ClientAuth{NTS: sess, Require: true}
+	auth := &ServerAuth{NTS: srvNTS, Require: true}
+
+	req := client.SealRequest(encodedRequest(t))
+	var ra RequestAuth
+	auth.Authenticate(req, &ra)
+	if !ra.Authenticated() || ra.Kind != AuthNTS {
+		t.Fatalf("nts request: %+v", ra)
+	}
+	reply := ntpwire.Packet{Version: 4, Mode: ntpwire.ModeServer, Stratum: 2}
+	out := reply.AppendEncode(make([]byte, 0, 512))
+	out = auth.SealResponse(out, &ra)
+	if authed, acc := client.VerifyResponse(out); !authed || !acc {
+		t.Fatalf("nts reply rejected: authed=%v acc=%v", authed, acc)
+	}
+	if sess.Cookies() != 4 {
+		t.Fatalf("cookie pool after round trip: %d", sess.Cookies())
+	}
+}
+
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	for _, a := range []Algorithm{AlgoNone, AlgoMD5, AlgoSHA1, AlgoSHA256} {
+		got, err := ParseAlgorithm(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ParseAlgorithm("rot13"); err == nil {
+		t.Error("ParseAlgorithm accepted garbage")
+	}
+}
+
+func TestMACVerifyZeroAlloc(t *testing.T) {
+	table, _ := NewKeyTable(testKey(5, AlgoSHA256))
+	m := NewMACer(table)
+	msg := encodedRequest(t)
+	out, _ := m.AppendMAC(msg, 5, msg)
+	macLen := AlgoSHA256.TrailerSize()
+	// Warm the lazily-built digest state before measuring.
+	m.Verify(out[:len(out)-macLen], out[len(out)-macLen:])
+	avg := testing.AllocsPerRun(200, func() {
+		if _, ok := m.Verify(out[:len(out)-macLen], out[len(out)-macLen:]); !ok {
+			t.Fatal("verify failed")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("MAC verify allocates %.1f/op, want 0", avg)
+	}
+	scratch := make([]byte, 0, 256)
+	avg = testing.AllocsPerRun(200, func() {
+		scratch = scratch[:0]
+		scratch = append(scratch, msg...)
+		var ok bool
+		scratch, ok = m.AppendMAC(scratch, 5, scratch)
+		if !ok {
+			t.Fatal("append failed")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("MAC append allocates %.1f/op, want 0", avg)
+	}
+}

@@ -1,0 +1,223 @@
+package ntpauth
+
+import "chronosntp/internal/ntpwire"
+
+// Policy glue: ServerAuth is what a responder (sim or real-socket)
+// holds, ClientAuth is what one client association holds. Both are
+// nil-safe — a nil policy is "no authentication" and leaves packets
+// untouched, which is how every pre-auth code path keeps emitting
+// byte-identical traffic.
+
+// AuthKind classifies how a packet was authenticated.
+type AuthKind uint8
+
+// Authentication kinds.
+const (
+	AuthNone AuthKind = iota
+	AuthMAC
+	AuthNTS
+)
+
+// String implements fmt.Stringer.
+func (k AuthKind) String() string {
+	switch k {
+	case AuthNone:
+		return "none"
+	case AuthMAC:
+		return "mac"
+	case AuthNTS:
+		return "nts"
+	default:
+		return "AuthKind(?)"
+	}
+}
+
+// RequestAuth is the classification of one inbound request datagram.
+type RequestAuth struct {
+	Kind  AuthKind
+	KeyID uint32 // MAC key that verified (Kind == AuthMAC)
+	Bad   bool   // authentication material present but invalid
+	NTS   NTSRequest
+}
+
+// Authenticated reports whether the request carried valid credentials.
+func (ra *RequestAuth) Authenticated() bool { return ra.Kind != AuthNone && !ra.Bad }
+
+// ServerAuth is a responder's authentication policy: the symmetric keys
+// it accepts, its NTS master key, and whether unauthenticated clients
+// are served or kissed off. Deny models an access-denying (or
+// attacker-impersonated) server that answers every request with a KoD.
+// Not safe for concurrent use; each read loop owns one.
+type ServerAuth struct {
+	Keys    *KeyTable  // symmetric keys accepted (nil: MAC requests are Bad)
+	NTS     *NTSServer // NTS cookie key (nil: NTS requests are Bad)
+	Require bool       // true: unauthenticated requests get a DENY kiss
+	Deny    KissCode   // nonzero: every request gets this kiss
+
+	mac *MACer
+}
+
+func (a *ServerAuth) macer() *MACer {
+	if a.mac == nil {
+		a.mac = NewMACer(a.Keys)
+	}
+	return a.mac
+}
+
+// Authenticate classifies raw (a full request datagram) into ra,
+// overwriting it. A nil policy classifies everything as AuthNone.
+func (a *ServerAuth) Authenticate(raw []byte, ra *RequestAuth) {
+	*ra = RequestAuth{}
+	if a == nil {
+		return
+	}
+	ext, mac, ok := ntpwire.SplitAuth(raw)
+	if !ok {
+		ra.Bad = true
+		return
+	}
+	if len(mac) > 0 {
+		if a.Keys == nil {
+			ra.Bad = true
+			return
+		}
+		keyID, ok := a.macer().Verify(raw[:len(raw)-len(mac)], mac)
+		if ok {
+			ra.Kind = AuthMAC
+			ra.KeyID = keyID
+		} else {
+			ra.Bad = true
+		}
+		return
+	}
+	if len(ext) > 0 {
+		if a.NTS == nil || !a.NTS.VerifyRequest(raw, &ra.NTS) {
+			ra.Bad = true
+			return
+		}
+		ra.Kind = AuthNTS
+	}
+}
+
+// KissFor returns the kiss code policy demands for a request classified
+// as ra, or 0 when the request should be served normally.
+func (a *ServerAuth) KissFor(ra *RequestAuth) KissCode {
+	if a == nil {
+		return 0
+	}
+	if a.Deny != 0 {
+		return a.Deny
+	}
+	if a.Require && !ra.Authenticated() {
+		return KissDENY
+	}
+	return 0
+}
+
+// SealResponse mirrors the request's authentication onto the encoded
+// reply in out: a MAC-authenticated request gets a MAC trailer under
+// the same key, an NTS request gets the NTS response extensions. The
+// MAC path is allocation-free given spare capacity in out.
+func (a *ServerAuth) SealResponse(out []byte, ra *RequestAuth) []byte {
+	if a == nil {
+		return out
+	}
+	switch ra.Kind {
+	case AuthMAC:
+		out, _ = a.macer().AppendMAC(out, ra.KeyID, out)
+	case AuthNTS:
+		out = a.NTS.SealResponse(out, &ra.NTS)
+	}
+	return out
+}
+
+// ClientAuth is one client association's authentication policy: either
+// a symmetric key or an NTS session (or neither), plus whether
+// unauthenticated replies are acceptable. Not safe for concurrent use.
+type ClientAuth struct {
+	Key     Key         // Algo != AlgoNone: symmetric-MAC mode
+	NTS     *NTSSession // non-nil: NTS mode (takes precedence)
+	Require bool        // true: drop replies that are not authenticated
+
+	mac    *MACer
+	macErr bool
+}
+
+// Enabled reports whether any authentication is configured.
+func (c *ClientAuth) Enabled() bool {
+	return c != nil && (c.NTS != nil || c.Key.Algo != AlgoNone)
+}
+
+// RequiresAuth reports whether unauthenticated replies (and kisses)
+// must be ignored on this association.
+func (c *ClientAuth) RequiresAuth() bool { return c != nil && c.Require }
+
+func (c *ClientAuth) macer() *MACer {
+	if c.mac == nil && !c.macErr {
+		table, err := NewKeyTable(c.Key)
+		if err != nil {
+			c.macErr = true
+			return nil
+		}
+		c.mac = NewMACer(table)
+	}
+	return c.mac
+}
+
+// SealRequest appends this association's credentials to the encoded
+// request in dst. An NTS session with an empty cookie pool (or an
+// invalid key) sends the request bare — the association then starves
+// under Require, which is the honest failure mode.
+func (c *ClientAuth) SealRequest(dst []byte) []byte {
+	if c == nil {
+		return dst
+	}
+	if c.NTS != nil {
+		out, ok := c.NTS.SealRequest(dst)
+		if ok {
+			return out
+		}
+		return dst
+	}
+	if c.Key.Algo != AlgoNone {
+		if m := c.macer(); m != nil {
+			dst, _ = m.AppendMAC(dst, c.Key.ID, dst)
+		}
+	}
+	return dst
+}
+
+// VerifyResponse checks a reply datagram against this association's
+// policy. authenticated reports whether the reply carried valid
+// credentials; acceptable reports whether the client may use it:
+// authenticated replies always are, bare replies only without Require,
+// and replies with invalid credentials never are (present-but-wrong
+// auth is active tampering, not a downgrade).
+func (c *ClientAuth) VerifyResponse(raw []byte) (authenticated, acceptable bool) {
+	if !c.Enabled() {
+		return false, true
+	}
+	ext, mac, ok := ntpwire.SplitAuth(raw)
+	if !ok {
+		return false, false
+	}
+	if len(ext) == 0 && len(mac) == 0 {
+		return false, !c.Require
+	}
+	if c.NTS != nil {
+		ok := c.NTS.VerifyResponse(raw)
+		return ok, ok
+	}
+	if len(mac) == 0 {
+		return false, false
+	}
+	m := c.macer()
+	if m == nil {
+		return false, false
+	}
+	keyID, ok := m.Verify(raw[:len(raw)-len(mac)], mac)
+	if !ok || keyID != c.Key.ID {
+		return false, false
+	}
+	return true, true
+}

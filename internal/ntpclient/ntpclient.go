@@ -29,6 +29,7 @@ import (
 
 	"chronosntp/internal/clock"
 	"chronosntp/internal/dnsresolver"
+	"chronosntp/internal/ntpauth"
 	"chronosntp/internal/ntpwire"
 	"chronosntp/internal/simnet"
 )
@@ -48,6 +49,16 @@ type Config struct {
 	StepThreshold  time.Duration // default 128ms
 	PanicThreshold time.Duration // offsets beyond are discarded; default 1000s
 	MinSurvivors   int           // minimum cluster survivors to sync; default 1
+
+	// Auth is the client's authentication policy, applied to every
+	// association (the classic ntpd "server ... key N" shape: one
+	// symmetric key shared with the pool). nil polls unauthenticated
+	// with requests byte-identical to the pre-auth client. Replies are
+	// checked against it, and Kiss-o'-Death packets drive the per-
+	// association ntpauth.AssocState machine — demobilize on DENY/RSTR,
+	// back off on RATE — with unauthenticated kisses ignored when the
+	// policy requires authentication.
+	Auth *ntpauth.ClientAuth
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +89,8 @@ type Stats struct {
 	Slews        uint64
 	PanicRejects uint64
 	NoConsensus  uint64
+	KoDKisses    uint64 // Kiss-o'-Death replies received (believed or not)
+	AuthRejects  uint64 // replies dropped by the authentication policy
 }
 
 // filterSample is one clock-filter stage.
@@ -96,6 +109,9 @@ type association struct {
 	sentT1  time.Time // local clock at last request (origin check)
 	trueT1  time.Time // true time at last request
 	pending bool
+
+	kod       ntpauth.AssocState // DENY/RSTR demobilization, RATE strikes
+	skipPolls int                // polls to sit out after a believed RATE kiss
 }
 
 // candidate is the clock-filtered view of one association handed to the
@@ -238,6 +254,13 @@ func (c *Client) poll() {
 }
 
 func (c *Client) sendRequest(a *association) {
+	if !a.kod.Usable() {
+		return // demobilized by an authenticated (or believed) DENY/RSTR
+	}
+	if a.skipPolls > 0 {
+		a.skipPolls--
+		return // RATE back-off: sit this poll out
+	}
 	if a.port == 0 {
 		a.port = c.host.EphemeralPort()
 		if err := c.host.Listen(a.port, c.responseHandler(a)); err != nil {
@@ -252,8 +275,10 @@ func (c *Client) sendRequest(a *association) {
 	var req ntpwire.Packet
 	ntpwire.FillClientPacket(&req, a.sentT1)
 	// SendUDP copies the payload into a pooled buffer, so one request
-	// scratch per client serves every poll without allocating.
+	// scratch per client serves every poll without allocating. The auth
+	// policy appends this association's credentials (no-op when nil).
 	c.wireBuf = req.AppendEncode(c.wireBuf[:0])
+	c.wireBuf = c.cfg.Auth.SealRequest(c.wireBuf)
 	_ = c.host.SendUDP(a.port, a.addr, c.wireBuf)
 }
 
@@ -264,7 +289,31 @@ func (c *Client) responseHandler(a *association) simnet.Handler {
 			return
 		}
 		resp, err := ntpwire.Decode(payload)
-		if err != nil || !ntpwire.ValidServerResponse(resp, ntpwire.TimestampFromTime(a.sentT1)) {
+		if err != nil {
+			return
+		}
+		if ntpauth.IsKoD(resp) {
+			// Believe only kisses that echo our origin (blind off-path
+			// spoofing is still defeated) and that pass the auth policy
+			// when one requires it.
+			if resp.OriginTime != ntpwire.TimestampFromTime(a.sentT1) {
+				return
+			}
+			c.stats.KoDKisses++
+			authed, _ := c.cfg.Auth.VerifyResponse(payload)
+			believed := authed || !c.cfg.Auth.RequiresAuth()
+			a.kod.OnKoD(ntpauth.Code(resp), authed, c.cfg.Auth.RequiresAuth())
+			if believed && ntpauth.Code(resp) == ntpauth.KissRATE {
+				a.skipPolls += 2 // quadruple the effective poll interval once
+			}
+			a.pending = false
+			return
+		}
+		if !ntpwire.ValidServerResponse(resp, ntpwire.TimestampFromTime(a.sentT1)) {
+			return
+		}
+		if _, acceptable := c.cfg.Auth.VerifyResponse(payload); !acceptable {
+			c.stats.AuthRejects++
 			return
 		}
 		a.pending = false

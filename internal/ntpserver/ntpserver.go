@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"chronosntp/internal/clock"
+	"chronosntp/internal/ntpauth"
 	"chronosntp/internal/ntpwire"
 	"chronosntp/internal/simnet"
 )
@@ -70,6 +71,11 @@ type Config struct {
 	Clock       *clock.Clock  // server's local clock; nil means perfect
 	Strategy    ShiftStrategy // nil = honest
 	Processing  time.Duration // server-side processing delay between RX and TX timestamps; default 10µs
+
+	// Auth is the server's authentication policy (symmetric keys, NTS,
+	// require/deny). nil serves everyone unauthenticated with replies
+	// byte-identical to the pre-auth stack.
+	Auth *ntpauth.ServerAuth
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +100,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	host      *simnet.Host
 	responder *Responder
+	state     ServeState
 	wireBuf   []byte // reply encode scratch, reused across requests
 }
 
@@ -121,18 +128,16 @@ func (s *Server) Malicious() bool { return s.responder.Malicious() }
 // SetStrategy swaps the shift strategy at runtime (attack orchestration).
 func (s *Server) SetStrategy(st ShiftStrategy) { s.responder.SetStrategy(st) }
 
-// handle answers mode-3 client requests.
+// handle answers mode-3 client requests. The simnet event loop is
+// single-threaded, so the per-server ServeState scratch is race-free.
 func (s *Server) handle(now time.Time, meta simnet.Meta, payload []byte) {
-	var req, resp ntpwire.Packet
-	if err := ntpwire.DecodeInto(&req, payload); err != nil {
-		return
-	}
-	if !s.responder.Respond(&resp, now, &req, meta.From) {
-		return
-	}
 	// SendUDP copies the payload into a pooled buffer, so one reply
 	// scratch per server serves every response without allocating.
-	s.wireBuf = resp.AppendEncode(s.wireBuf[:0])
+	out, ok := s.responder.ServeDatagram(s.wireBuf, now, payload, &s.state, meta.From)
+	s.wireBuf = out
+	if !ok {
+		return
+	}
 	_ = s.host.SendUDP(ntpwire.Port, meta.From, s.wireBuf)
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chronosntp/internal/ntpauth"
 	"chronosntp/internal/ntpwire"
 	"chronosntp/internal/simnet"
 )
@@ -89,4 +90,61 @@ func (r *Responder) Respond(resp *ntpwire.Packet, now time.Time, req *ntpwire.Pa
 		TransmitTime:   ntpwire.TimestampFromTime(xmit),
 	}
 	return true
+}
+
+// ServeState is per-caller scratch for ServeDatagram: the decoded
+// request and reply packets and the request's authentication
+// classification. Each read loop (or simnet server) owns one, keeping
+// the steady serve path free of per-request allocation.
+type ServeState struct {
+	Req  ntpwire.Packet
+	Resp ntpwire.Packet
+	RA   ntpauth.RequestAuth
+}
+
+// ServeDatagram is the authenticated, transport-independent serve path:
+// classify the raw datagram's credentials against the configured
+// ntpauth.ServerAuth, apply the kiss-o'-death policy, then fill, encode
+// and credential-seal the reply into out[:0], returning the reply bytes
+// and whether one should be sent. The simnet Server and the real-socket
+// wirenet.Server both call exactly this function, so authenticated
+// replies are byte-identical across transports — the property the
+// conformance suite pins. With a nil Auth policy the output bytes are
+// identical to Respond + AppendEncode, i.e. the pre-auth wire format.
+//
+// Requests whose credentials are present but invalid (bad MAC, bad
+// cookie, failed AEAD) are dropped silently: answering would give a MAC
+// oracle, and RFC 5905's crypto-NAK adds nothing the experiments
+// measure. The MAC path performs no heap allocation given spare
+// capacity in out.
+//
+// Unlike Respond, ServeDatagram must not be called concurrently for the
+// same underlying Auth policy state; wirenet serialises it with a mutex
+// when running multiple listeners.
+func (r *Responder) ServeDatagram(out []byte, now time.Time, raw []byte, st *ServeState, from simnet.Addr) ([]byte, bool) {
+	if err := ntpwire.DecodeInto(&st.Req, raw); err != nil {
+		return out, false
+	}
+	auth := r.cfg.Auth
+	auth.Authenticate(raw, &st.RA)
+	if st.RA.Bad {
+		return out, false
+	}
+	if st.Req.Mode != ntpwire.ModeClient {
+		return out, false
+	}
+	if kiss := auth.KissFor(&st.RA); kiss != 0 {
+		// Kisses are stamped from the server's own clock and sealed like
+		// any reply, so authenticated associations can tell a genuine
+		// kiss from a forged one (RFC 8915 §5.7).
+		r.queries.Add(1)
+		ntpauth.FillKoD(&st.Resp, kiss, &st.Req, r.cfg.Clock.Now(now))
+		out = st.Resp.AppendEncode(out[:0])
+		return auth.SealResponse(out, &st.RA), true
+	}
+	if !r.Respond(&st.Resp, now, &st.Req, from) {
+		return out, false
+	}
+	out = st.Resp.AppendEncode(out[:0])
+	return auth.SealResponse(out, &st.RA), true
 }

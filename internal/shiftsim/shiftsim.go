@@ -61,6 +61,7 @@ import (
 // Errors returned by Run.
 var (
 	ErrBadPool = errors.New("shiftsim: malicious count exceeds pool size")
+	ErrBadAuth = errors.New("shiftsim: invalid auth model")
 )
 
 // Config parameterises one long-horizon run.
@@ -89,6 +90,13 @@ type Config struct {
 
 	DriftPPM float64      // client crystal skew
 	Wander   clock.Wander // benign drift random walk, stepped once per round
+
+	// Auth models the authentication arms race (see auth.go): which
+	// benign servers the client holds credentials for, how strong they
+	// are, and what the on-path attacker does to the auth layer. nil
+	// (the default) leaves the engine bit-identical to the pre-auth
+	// behaviour. Compressed mode only.
+	Auth *AuthModel
 
 	Wire bool // full packet fidelity instead of the compressed fast path
 }
@@ -130,6 +138,12 @@ func (c Config) withDefaults() Config {
 	if c.Jitter == 0 {
 		c.Jitter = 1500 * time.Microsecond
 	}
+	if c.Auth != nil {
+		// Normalize into a fresh value: the caller's AuthModel may be
+		// shared across parallel trials and must not be mutated.
+		a := c.Auth.withDefaults()
+		c.Auth = &a
+	}
 	return c
 }
 
@@ -161,6 +175,10 @@ type Result struct {
 	// update accepted — the step-size signature an anomaly detector would
 	// see (compressed mode only).
 	MaxPush time.Duration
+
+	// Auth-model counters, zero unless Config.Auth is set.
+	AuthRejected int // samples dropped by the client's credential policy
+	Demobilized  int // benign servers killed by believed forged kisses
 }
 
 // Run executes one long-horizon simulation.
@@ -168,6 +186,14 @@ func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Malicious > cfg.PoolSize || cfg.PoolSize < 1 || cfg.Malicious < 0 {
 		return nil, fmt.Errorf("%w: %d/%d", ErrBadPool, cfg.Malicious, cfg.PoolSize)
+	}
+	if cfg.Auth != nil {
+		if err := cfg.Auth.validate(); err != nil {
+			return nil, err
+		}
+		if cfg.Wire {
+			return nil, fmt.Errorf("%w: the auth model is compressed-mode only", ErrBadAuth)
+		}
 	}
 	if cfg.Wire {
 		return runWire(cfg)
@@ -204,6 +230,11 @@ type engine struct {
 	idx     []int           // sampling scratch (partial Fisher–Yates)
 	offsets []time.Duration // per-attempt sample buffer
 
+	// Auth-model state (see auth.go); zero-valued when cfg.Auth is nil.
+	authCount int    // benign indices < authCount are credentialed
+	reqAuth   bool   // the client drops samples it cannot verify
+	kodDead   []bool // benign servers demobilized by believed kisses
+
 	res    Result
 	streak int // current fresh-attempt capture run
 	start  time.Time
@@ -231,6 +262,14 @@ func newEngine(cfg Config) *engine {
 	// Honest servers keep small fixed clock errors, like ntpserver.Farm.
 	for i := range e.honest {
 		e.honest[i] = time.Duration(rng.Int63n(int64(2*cfg.HonestErr))) - cfg.HonestErr
+	}
+	if cfg.Auth != nil {
+		e.authCount = int(cfg.Auth.Frac * float64(e.benign))
+		if e.authCount > e.benign {
+			e.authCount = e.benign
+		}
+		e.reqAuth = e.authCount > 0
+		e.kodDead = make([]bool, e.benign)
 	}
 	e.start = net.Now()
 	return e
@@ -321,6 +360,12 @@ func (e *engine) evaluateAttempt(round, attempt, mal int) chronos.Verdict {
 	m := e.cfg.Client.SampleSize
 	now := e.net.Now()
 	theta := e.clk.Offset(now)
+	if e.cfg.Auth != nil && e.cfg.Auth.Move == MoveMACStrip {
+		// Full MitM: the tamperer owns every reply it lets through, so
+		// the strategy sees the whole sample as captured. (Captures in
+		// the Result stays the raw hypergeometric sampling statistic.)
+		mal = m
+	}
 	plan := e.cfg.Strategy.Plan(View{
 		Round: round, Attempt: attempt,
 		Observed:         theta,
@@ -332,8 +377,16 @@ func (e *engine) evaluateAttempt(round, attempt, mal int) chronos.Verdict {
 		Config:           e.cfg.Client,
 	})
 	e.offsets = e.offsets[:0]
-	for _, id := range e.idx[:m] {
-		e.offsets = append(e.offsets, e.sampleOffset(id, theta, plan))
+	if e.cfg.Auth == nil {
+		for _, id := range e.idx[:m] {
+			e.offsets = append(e.offsets, e.sampleOffset(id, theta, plan))
+		}
+	} else {
+		for _, id := range e.idx[:m] {
+			if off, ok := e.authOffset(id, theta, plan); ok {
+				e.offsets = append(e.offsets, off)
+			}
+		}
 	}
 	return e.rule.Evaluate(e.offsets)
 }
@@ -369,8 +422,16 @@ func (e *engine) panic(round int) {
 		Config:           e.cfg.Client,
 	})
 	e.offsets = e.offsets[:0]
-	for id := 0; id < e.cfg.PoolSize; id++ {
-		e.offsets = append(e.offsets, e.sampleOffset(id, theta, plan))
+	if e.cfg.Auth == nil {
+		for id := 0; id < e.cfg.PoolSize; id++ {
+			e.offsets = append(e.offsets, e.sampleOffset(id, theta, plan))
+		}
+	} else {
+		for id := 0; id < e.cfg.PoolSize; id++ {
+			if off, ok := e.authOffset(id, theta, plan); ok {
+				e.offsets = append(e.offsets, off)
+			}
+		}
 	}
 	upd, ok := e.rule.PanicUpdate(e.offsets)
 	e.net.FastForward(e.cfg.Client.QueryTimeout)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"chronosntp/internal/ntpserver"
 	"chronosntp/internal/ntpwire"
 )
 
@@ -54,11 +55,12 @@ func FuzzServeRequest(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv, sink := fuzzServer(t)
-		var req, resp ntpwire.Packet
+		var st ntpserver.ServeState
 		out := make([]byte, 0, ntpwire.PacketSize)
 
 		servedBefore := srv.Served()
-		answered := srv.serveOne(&req, &resp, out, data, sink)
+		_, answered := srv.serveOne(&st, out, data, sink)
+		resp := &st.Resp
 
 		var want ntpwire.Packet
 		wantAnswer := ntpwire.DecodeInto(&want, data) == nil && want.Mode == ntpwire.ModeClient

@@ -32,7 +32,6 @@ import (
 	"time"
 
 	"chronosntp/internal/ntpserver"
-	"chronosntp/internal/ntpwire"
 	"chronosntp/internal/simnet"
 )
 
@@ -91,6 +90,13 @@ type Server struct {
 	wg     sync.WaitGroup
 	closed atomic.Bool
 
+	// authMu serialises ServeDatagram across listeners when an auth
+	// policy is configured: ntpauth.ServerAuth owns reusable digest and
+	// AEAD scratch that is not concurrency-safe. Unauthenticated servers
+	// skip the lock entirely, leaving the zero-alloc hot path untouched.
+	authMu     sync.Mutex
+	authSerial bool
+
 	served  atomic.Uint64 // requests answered
 	dropped atomic.Uint64 // datagrams discarded (malformed, wrong mode, write failure)
 }
@@ -106,7 +112,7 @@ func Serve(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wirenet: listen %q: %w", cfg.Addr, err)
 	}
-	s := &Server{cfg: cfg, conn: conn}
+	s := &Server{cfg: cfg, conn: conn, authSerial: cfg.Responder.Config().Auth != nil}
 	s.wg.Add(cfg.Listeners)
 	for i := 0; i < cfg.Listeners; i++ {
 		go s.readLoop()
@@ -158,38 +164,40 @@ func (s *Server) Close() error {
 func (s *Server) readLoop() {
 	defer s.wg.Done()
 	var (
-		buf  [readBufSize]byte
-		req  ntpwire.Packet
-		resp ntpwire.Packet
+		buf [readBufSize]byte
+		st  ntpserver.ServeState
 	)
-	out := make([]byte, 0, ntpwire.PacketSize)
+	out := make([]byte, 0, readBufSize)
 	for {
 		n, from, err := s.conn.ReadFromUDPAddrPort(buf[:])
 		if err != nil {
 			return // closed or drain deadline
 		}
-		s.serveOne(&req, &resp, out, buf[:n], from)
+		out, _ = s.serveOne(&st, out, buf[:n], from)
 	}
 }
 
-// serveOne answers a single datagram: decode, respond through the shared
-// ntpserver.Responder, encode into the reused output buffer, write. It
-// reports whether a reply was sent. The fuzz target drives this function
-// directly with arbitrary payloads.
-func (s *Server) serveOne(req, resp *ntpwire.Packet, out []byte, payload []byte, from netip.AddrPort) bool {
-	if err := ntpwire.DecodeInto(req, payload); err != nil {
-		s.dropped.Add(1)
-		return false
+// serveOne answers a single datagram through the shared authenticated
+// serve core (ntpserver.Responder.ServeDatagram): decode, classify
+// credentials, respond, credential-seal, write. It returns the (possibly
+// regrown) output buffer and whether a reply was sent. The fuzz target
+// drives this function directly with arbitrary payloads.
+func (s *Server) serveOne(st *ntpserver.ServeState, out []byte, payload []byte, from netip.AddrPort) ([]byte, bool) {
+	if s.authSerial {
+		s.authMu.Lock()
 	}
-	if !s.cfg.Responder.Respond(resp, s.cfg.Now(), req, simnet.AddrFromAddrPort(from)) {
-		s.dropped.Add(1)
-		return false
+	b, ok := s.cfg.Responder.ServeDatagram(out, s.cfg.Now(), payload, st, simnet.AddrFromAddrPort(from))
+	if s.authSerial {
+		s.authMu.Unlock()
 	}
-	b := resp.AppendEncode(out[:0])
+	if !ok {
+		s.dropped.Add(1)
+		return b, false
+	}
 	if _, err := s.conn.WriteToUDPAddrPort(b, from); err != nil {
 		s.dropped.Add(1)
-		return false
+		return b, false
 	}
 	s.served.Add(1)
-	return true
+	return b, true
 }
